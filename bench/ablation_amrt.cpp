@@ -1,0 +1,118 @@
+// Ablations of AMRT's design choices (called out in DESIGN.md §6):
+//
+//  1. Marking threshold (Eq. 2's MSS): how big must the inter-dequeue gap be
+//     before the switch declares spare bandwidth? The paper fixes it at one
+//     1500B MTU; smaller probes mark more aggressively, larger ones damp.
+//  2. Marked-grant allowance: the paper triggers 2 packets per marked grant;
+//     higher allowances converge faster but overshoot harder.
+//  3. Loss timeout: Sec. 6's 1xRTT grant-reissue vs more conservative RTOs,
+//     measured on a loaded fabric cell.
+//
+// Each row runs the Fig. 2 dynamic-traffic scenario (where the refill speed
+// is visible) and reports the large flow's completion, utilization and queue.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+#include "harness/options.hpp"
+#include "harness/scenarios.hpp"
+#include "net/topology.hpp"
+
+using namespace amrt;
+using harness::DynamicConfig;
+using harness::DynamicFlow;
+
+namespace {
+DynamicConfig base_dynamic() {
+  DynamicConfig cfg;
+  cfg.proto = transport::Protocol::kAmrt;
+  cfg.flows = {DynamicFlow{2'500'000, sim::Duration::zero()},
+               DynamicFlow{5'000'000, sim::Duration::zero()},
+               DynamicFlow{10'000'000, sim::Duration::zero()}};
+  cfg.duration = sim::Duration::milliseconds(25);
+  cfg.bin = sim::Duration::microseconds(250);
+  return cfg;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = harness::parse_bench_options(argc, argv);
+
+  std::printf("Ablation 1: anti-ECN marking threshold (probe bytes)\n");
+  harness::Table t1{{"probe_bytes", "f3_fct_ms", "mean_util", "max_queue"}};
+  for (std::uint32_t probe : {750u, 1500u, 3000u, 6000u}) {
+    auto cfg = base_dynamic();
+    cfg.marker_probe_bytes = probe;
+    cfg.seed = opts.seed;
+    const auto r = harness::run_dynamic(cfg);
+    t1.add_row({std::to_string(probe), harness::fmt(r.flow_fct_ms[2]),
+                harness::fmt_pct(r.mean_util_b1), std::to_string(r.max_queue_pkts)});
+  }
+  if (opts.csv) t1.print_csv(std::cout); else t1.print(std::cout);
+
+  std::printf("\nAblation 2: marked-grant allowance (paper: 2)\n");
+  harness::Table t2{{"allowance", "f3_fct_ms", "mean_util", "max_queue"}};
+  for (std::uint16_t allowance : {2, 3, 4}) {
+    auto cfg = base_dynamic();
+    cfg.amrt_marked_allowance = allowance;
+    cfg.seed = opts.seed;
+    const auto r = harness::run_dynamic(cfg);
+    t2.add_row({std::to_string(allowance), harness::fmt(r.flow_fct_ms[2]),
+                harness::fmt_pct(r.mean_util_b1), std::to_string(r.max_queue_pkts)});
+  }
+  if (opts.csv) t2.print_csv(std::cout); else t2.print(std::cout);
+
+  std::printf("\nAblation 3: receiver loss timeout on a loaded fabric cell (Web Search, load 0.7)\n");
+  harness::Table t3{{"rto_x_rtt", "afct_us", "p99_us", "small_afct_us", "drops"}};
+  for (int x : {1, 2, 3, 5}) {
+    harness::ExperimentConfig cfg;
+    cfg.proto = transport::Protocol::kAmrt;
+    cfg.workload = workload::Kind::kWebSearch;
+    cfg.load = 0.7;
+    cfg.n_flows = opts.scaled(200);
+    cfg.seed = opts.seed;
+    cfg.loss_timeout = net::path_base_rtt(4, cfg.link_rate, cfg.link_delay) * x;
+    const auto r = harness::run_leaf_spine(cfg);
+    t3.add_row({std::to_string(x), harness::fmt(r.fct_all.afct_us, 1),
+                harness::fmt(r.fct_all.p99_us, 1), harness::fmt(r.fct_small.afct_us, 1),
+                std::to_string(r.drops)});
+  }
+  if (opts.csv) t3.print_csv(std::cout); else t3.print(std::cout);
+
+  std::printf("\nAblation 4: per-flow ECMP vs per-packet spraying (Web Search, load 0.7)\n");
+  harness::Table t4{{"proto", "multipath", "afct_us", "p99_us", "util"}};
+  for (auto proto : {transport::Protocol::kNdp, transport::Protocol::kAmrt}) {
+    for (auto mode : {net::MultipathMode::kPerFlowEcmp, net::MultipathMode::kPacketSpray}) {
+      harness::ExperimentConfig cfg;
+      cfg.proto = proto;
+      cfg.workload = workload::Kind::kWebSearch;
+      cfg.load = 0.7;
+      cfg.n_flows = opts.scaled(200);
+      cfg.seed = opts.seed;
+      cfg.multipath = mode;
+      const auto r = harness::run_leaf_spine(cfg);
+      t4.add_row({transport::to_string(proto),
+                  mode == net::MultipathMode::kPerFlowEcmp ? "per-flow" : "spray",
+                  harness::fmt(r.fct_all.afct_us, 1), harness::fmt(r.fct_all.p99_us, 1),
+                  harness::fmt_pct(r.mean_utilization)});
+    }
+  }
+  if (opts.csv) t4.print_csv(std::cout); else t4.print(std::cout);
+
+  std::printf("\nAblation 5: Aeolus-style selective dropping of blind packets (32-way incast)\n");
+  harness::Table t5{{"queue", "afct_us", "p99_us", "drops", "goodput_gbps"}};
+  for (bool selective : {false, true}) {
+    harness::IncastConfig cfg;
+    cfg.proto = transport::Protocol::kAmrt;
+    cfg.senders = 32;
+    cfg.queues.buffer_pkts = 8;
+    cfg.queues.selective_drop = selective;
+    const auto r = harness::run_incast(cfg);
+    t5.add_row({selective ? "selective-drop" : "drop-tail", harness::fmt(r.fct.afct_us, 1),
+                harness::fmt(r.fct.p99_us, 1), std::to_string(r.drops),
+                harness::fmt(r.goodput_gbps)});
+  }
+  if (opts.csv) t5.print_csv(std::cout); else t5.print(std::cout);
+  return 0;
+}

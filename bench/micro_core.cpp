@@ -1,0 +1,143 @@
+// Micro-benchmarks of the simulation substrate itself (google-benchmark):
+// event-queue throughput, queue disciplines, the anti-ECN marker, workload
+// sampling, and a small end-to-end simulation as a packets/second figure.
+#include <benchmark/benchmark.h>
+
+#include "core/anti_ecn.hpp"
+#include "core/factory.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/workloads.hpp"
+
+using namespace amrt;
+
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  int sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      (void)q.push(sim::TimePoint::from_ns(t + (i * 37) % 1000), [&sink] { ++sink; });
+    }
+    while (auto e = q.pop()) e->cb();
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SchedulerTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      auto h = sched.after(sim::Duration::nanoseconds(i), [&fired] { ++fired; });
+      if (i % 2 == 0) h.cancel();  // half the timers are cancelled, as in transport RTO churn
+    }
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerTimerChurn);
+
+net::Packet make_pkt(std::uint32_t seq) {
+  net::Packet p;
+  p.flow = 7;
+  p.seq = seq;
+  p.wire_bytes = net::kMtuBytes;
+  p.payload_bytes = net::kMssBytes;
+  p.ecn_capable = true;
+  p.ce = true;
+  return p;
+}
+
+void BM_DropTailQueue(benchmark::State& state) {
+  net::DropTailQueue q{128};
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    q.enqueue(make_pkt(seq++));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailQueue);
+
+void BM_StrictPriorityQueue(benchmark::State& state) {
+  net::StrictPriorityQueue q{8, 128};
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    auto p = make_pkt(seq++);
+    p.priority = static_cast<std::uint8_t>(seq % 8);
+    q.enqueue(std::move(p));
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StrictPriorityQueue);
+
+void BM_AntiEcnMarker(benchmark::State& state) {
+  core::AntiEcnMarker marker;
+  auto pkt = make_pkt(1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    pkt.ce = true;
+    marker.on_dequeue(pkt, sim::TimePoint::from_ns(t), sim::TimePoint::from_ns(t - 600),
+                      sim::Bandwidth::gbps(10));
+    benchmark::DoNotOptimize(pkt.ce);
+    t += 1200;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AntiEcnMarker);
+
+void BM_WorkloadSampling(benchmark::State& state) {
+  sim::Rng rng{1};
+  const auto& cdf = workload::cdf(workload::Kind::kDataMining);
+  for (auto _ : state) benchmark::DoNotOptimize(cdf.sample(rng));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadSampling);
+
+// End-to-end: a 2x2x4 AMRT fabric moving 20 x 100KB flows; reports packets/s
+// of simulation throughput.
+void BM_EndToEndSmallFabric(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network network{sched};
+    net::LeafSpineConfig topo_cfg;
+    topo_cfg.leaves = 2;
+    topo_cfg.spines = 2;
+    topo_cfg.hosts_per_leaf = 4;
+    topo_cfg.link_delay = sim::Duration::microseconds(5);
+    topo_cfg.queue_factory = core::make_queue_factory(transport::Protocol::kAmrt);
+    topo_cfg.marker_factory = core::make_marker_factory(transport::Protocol::kAmrt);
+    auto topo = net::build_leaf_spine(network, topo_cfg);
+
+    transport::TransportConfig tcfg;
+    tcfg.base_rtt = topo.base_rtt;
+    stats::FctRecorder recorder{topo_cfg.link_rate, topo.base_rtt};
+    std::vector<transport::TransportEndpoint*> eps;
+    for (auto* h : topo.hosts) {
+      auto ep = core::make_endpoint(transport::Protocol::kAmrt, sched, *h, tcfg, &recorder);
+      eps.push_back(ep.get());
+      h->attach(std::move(ep));
+    }
+    for (net::FlowId i = 0; i < 20; ++i) {
+      const std::size_t src = i % topo.hosts.size();
+      const std::size_t dst = (i + 5) % topo.hosts.size();
+      eps[src]->start_flow({i + 1, topo.hosts[src]->id(), topo.hosts[dst]->id(), 100'000,
+                            sim::TimePoint::zero()});
+    }
+    sched.run_until(sim::TimePoint::zero() + sim::Duration::milliseconds(50));
+    benchmark::DoNotOptimize(recorder.completed().size());
+    state.counters["events"] = static_cast<double>(sched.events_processed());
+  }
+}
+BENCHMARK(BM_EndToEndSmallFabric)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

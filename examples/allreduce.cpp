@@ -1,0 +1,145 @@
+// Ring allreduce on a leaf-spine fabric — the Section 2.1 motivation
+// ("massive numbers of model parameters updated synchronously by cross-rack
+// flows ... which coexist with cross traffic at each hop").
+//
+// N workers hold a G-byte gradient; a ring allreduce runs 2(N-1) steps, each
+// worker sending a G/N chunk to its ring successor per step, with a barrier
+// between steps. Background cross-traffic makes some hops multi-bottleneck.
+// Because every step waits for its slowest transfer, the synchronized
+// pattern amplifies exactly the under-utilization AMRT attacks: when cross
+// flows release bandwidth mid-step, only AMRT's workers can speed up.
+//
+//   usage: allreduce [workers] [gradient_bytes]
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "net/topology.hpp"
+
+using namespace amrt;
+
+namespace {
+
+struct Result {
+  double allreduce_ms = 0;
+  std::size_t steps = 0;
+  std::uint64_t events = 0;
+};
+
+Result run(transport::Protocol proto, int workers, std::uint64_t gradient_bytes) {
+  sim::Scheduler sched;
+  net::Network network{sched};
+
+  net::LeafSpineConfig topo_cfg;
+  topo_cfg.leaves = 4;
+  topo_cfg.spines = 2;
+  topo_cfg.hosts_per_leaf = std::max(2, (workers + 3) / 4 + 1);
+  topo_cfg.link_delay = sim::Duration::microseconds(10);
+  topo_cfg.queue_factory = core::make_queue_factory(proto);
+  topo_cfg.marker_factory = core::make_marker_factory(proto);
+  auto topo = net::build_leaf_spine(network, topo_cfg);
+
+  transport::TransportConfig tcfg;
+  tcfg.host_rate = topo_cfg.link_rate;
+  tcfg.base_rtt = topo.base_rtt;
+  stats::FctRecorder recorder{topo_cfg.link_rate, topo.base_rtt};
+  std::vector<transport::TransportEndpoint*> eps;
+  for (auto* h : topo.hosts) {
+    auto ep = core::make_endpoint(proto, sched, *h, tcfg, &recorder);
+    eps.push_back(ep.get());
+    h->attach(std::move(ep));
+  }
+
+  // Workers are spread round-robin across leaves so ring neighbours are
+  // cross-rack; the remaining hosts generate background cross traffic.
+  std::vector<std::size_t> worker_hosts;
+  for (int w = 0; w < workers; ++w) {
+    const std::size_t leaf = static_cast<std::size_t>(w) % 4;
+    const std::size_t slot = static_cast<std::size_t>(w) / 4;
+    worker_hosts.push_back(leaf * topo_cfg.hosts_per_leaf + slot);
+  }
+  net::FlowId next_id = 1;
+
+  // Background: each leaf's last host streams to the next leaf's last host.
+  // Staggered sizes keep cross traffic alive through the early steps and
+  // release bandwidth one stream at a time — the Section 2 scenarios.
+  for (int l = 0; l < 4; ++l) {
+    const std::size_t src = static_cast<std::size_t>(l) * topo_cfg.hosts_per_leaf +
+                            (topo_cfg.hosts_per_leaf - 1);
+    const std::size_t dst = static_cast<std::size_t>((l + 1) % 4) * topo_cfg.hosts_per_leaf +
+                            (topo_cfg.hosts_per_leaf - 1);
+    eps[src]->start_flow({next_id++, topo.hosts[src]->id(), topo.hosts[dst]->id(),
+                          static_cast<std::uint64_t>(5 + 5 * l) * 1'000'000,
+                          sim::TimePoint::zero()});
+  }
+
+  // Synchronous ring steps driven by a completion barrier.
+  const std::uint64_t chunk = std::max<std::uint64_t>(1, gradient_bytes / workers);
+  const std::size_t total_steps = 2 * (static_cast<std::size_t>(workers) - 1);
+  std::size_t step = 0;
+  std::size_t done_at_barrier = 4;  // background flows complete independently
+
+  std::function<void()> barrier;
+  std::function<void()> launch_step = [&] {
+    for (int w = 0; w < workers; ++w) {
+      const std::size_t src = worker_hosts[static_cast<std::size_t>(w)];
+      const std::size_t dst = worker_hosts[static_cast<std::size_t>((w + 1) % workers)];
+      eps[src]->start_flow({next_id++, topo.hosts[src]->id(), topo.hosts[dst]->id(), chunk,
+                            sched.now()});
+    }
+    ++step;
+  };
+  barrier = [&] {
+    // Step transfers (not necessarily the background flows) all finished?
+    const std::size_t step_flows_done =
+        recorder.completed().size() >= done_at_barrier ? recorder.completed().size() : 0;
+    const std::size_t expected = step * static_cast<std::size_t>(workers);
+    std::size_t completed_step_flows = 0;
+    for (const auto& r : recorder.completed()) {
+      if (r.flow > 4) ++completed_step_flows;  // ids 1..4 are background
+    }
+    (void)step_flows_done;
+    if (completed_step_flows >= expected) {
+      if (step >= total_steps) {
+        sched.stop();
+        return;
+      }
+      launch_step();
+    }
+    sched.after(sim::Duration::microseconds(20), barrier);
+  };
+
+  launch_step();
+  sched.after(sim::Duration::microseconds(20), barrier);
+  sched.run_until(sim::TimePoint::zero() + sim::Duration::seconds(10));
+
+  Result out;
+  out.allreduce_ms = sched.now().to_millis();
+  out.steps = step;
+  out.events = sched.events_processed();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 8;
+  const std::uint64_t gradient = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 25'000'000;
+
+  std::printf("ring allreduce: %d workers, %.1fMB gradient, 2(N-1)=%d steps, with background\n"
+              "cross-traffic releasing bandwidth mid-run\n\n",
+              workers, static_cast<double>(gradient) * 1e-6, 2 * (workers - 1));
+  std::printf("%-8s %-14s %-8s %-12s\n", "proto", "allreduce(ms)", "steps", "events");
+  double phost_ms = 0;
+  for (auto proto : {transport::Protocol::kPhost, transport::Protocol::kHoma,
+                     transport::Protocol::kNdp, transport::Protocol::kAmrt}) {
+    const auto r = run(proto, workers, gradient);
+    if (proto == transport::Protocol::kPhost) phost_ms = r.allreduce_ms;
+    std::printf("%-8s %-14.2f %-8zu %-12llu\n", transport::to_string(proto), r.allreduce_ms,
+                r.steps, static_cast<unsigned long long>(r.events));
+  }
+  if (phost_ms > 0) std::printf("\n(lower is better; pHost is the baseline at %.2fms)\n", phost_ms);
+  return 0;
+}

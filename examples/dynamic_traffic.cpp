@@ -1,0 +1,62 @@
+// Dynamic-traffic scenario (the paper's Fig. 2 motivation / Fig. 9 testbed):
+// four flows with distinct sender/receiver pairs share one bottleneck and
+// finish one after another. Under pHost the freed bandwidth is wasted (the
+// utilization staircase of Fig. 2); under AMRT the anti-ECN marks let the
+// survivors absorb it within a couple of RTTs.
+//
+//   usage: dynamic_traffic [protocol]    (default: pHost then AMRT)
+#include <cstdio>
+
+#include "harness/scenarios.hpp"
+
+using namespace amrt;
+using harness::DynamicConfig;
+using harness::DynamicFlow;
+
+namespace {
+
+void run_one(transport::Protocol proto) {
+  using sim::Duration;
+  DynamicConfig cfg;
+  cfg.proto = proto;
+  cfg.link_rate = sim::Bandwidth::gbps(10);
+  // Staggered sizes: at a fair quarter-share f1 finishes first, then f2, f3.
+  cfg.flows = {
+      DynamicFlow{2'500'000, Duration::zero()},
+      DynamicFlow{5'000'000, Duration::zero()},
+      DynamicFlow{7'500'000, Duration::zero()},
+      DynamicFlow{10'000'000, Duration::zero()},
+  };
+  cfg.duration = Duration::milliseconds(30);
+  cfg.bin = Duration::microseconds(500);
+
+  const auto r = harness::run_dynamic(cfg);
+
+  std::printf("== %s ==\n", transport::to_string(proto));
+  std::printf("%-8s%-10s%-10s%-10s%-10s%s\n", "t(ms)", "f1", "f2", "f3", "f4", "util");
+  for (std::size_t b = 0; b < r.bottleneck1_util.size(); b += 4) {
+    std::printf("%-8.1f", static_cast<double>(b) * r.bin.to_millis());
+    for (const auto& series : r.flow_gbps) {
+      std::printf("%-10.2f", b < series.size() ? series[b] : 0.0);
+    }
+    std::printf("%.2f\n", r.bottleneck1_util[b]);
+  }
+  for (std::size_t f = 0; f < r.flow_fct_ms.size(); ++f) {
+    if (r.flow_fct_ms[f] >= 0) {
+      std::printf("f%zu fct: %.2f ms\n", f + 1, r.flow_fct_ms[f]);
+    }
+  }
+  std::printf("bottleneck mean utilization: %.1f%%\n\n", 100.0 * r.mean_util_b1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    run_one(transport::protocol_from_string(argv[1]));
+    return 0;
+  }
+  run_one(transport::Protocol::kPhost);
+  run_one(transport::Protocol::kAmrt);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Incast (Section 8.2 / the partition-aggregate pattern of Section 2.2):
+// N synchronized senders answer one receiver through a single ToR switch.
+// With the paper's small-buffer discipline (Section 6: an 8-packet drop
+// threshold for AMRT, trimming for NDP) this is the stress test for loss
+// recovery. Prints per-protocol p99 FCT, queue peaks, drops and goodput.
+//
+//   usage: incast [senders] [bytes_per_sender]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/scenarios.hpp"
+
+using namespace amrt;
+
+int main(int argc, char** argv) {
+  harness::IncastConfig cfg;
+  if (argc > 1) cfg.senders = std::atoi(argv[1]);
+  if (argc > 2) cfg.bytes_per_sender = std::strtoull(argv[2], nullptr, 10);
+
+  // Section 6: tight buffers — AMRT/pHost/Homa drop beyond 8 packets, NDP
+  // trims at the same depth.
+  cfg.queues.buffer_pkts = 8;
+  cfg.queues.trim_threshold = 8;
+
+  std::printf("incast: %d senders x %llu bytes, buffers %zu pkts\n\n", cfg.senders,
+              static_cast<unsigned long long>(cfg.bytes_per_sender), cfg.queues.buffer_pkts);
+  std::printf("%-8s %-10s %-10s %-10s %-8s %-8s %-8s %-10s\n", "proto", "afct(us)", "p99(us)",
+              "done", "maxQ", "drops", "trims", "goodput");
+  for (auto proto : {transport::Protocol::kPhost, transport::Protocol::kHoma,
+                     transport::Protocol::kNdp, transport::Protocol::kAmrt}) {
+    cfg.proto = proto;
+    const auto r = harness::run_incast(cfg);
+    std::printf("%-8s %-10.1f %-10.1f %zu/%-7d %-8zu %-8llu %-8llu %.2f Gbps\n",
+                transport::to_string(proto), r.fct.afct_us, r.fct.p99_us, r.fct.completed,
+                cfg.senders, r.max_queue_pkts, static_cast<unsigned long long>(r.drops),
+                static_cast<unsigned long long>(r.trims), r.goodput_gbps);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Multi-bottleneck scenario (the paper's Fig. 10/11 testbed experiment):
+// a two-hop chain S0 -> S1 -> S2 where flow f1 crosses both bottlenecks,
+// f2 shares the first with it and f3/f4 the second. Runs all four protocols
+// and prints each flow's throughput timeline plus completion times — watch
+// f2 climb above its initial 50% share only under AMRT.
+//
+//   usage: multi_bottleneck [protocol]   (default: all four)
+#include <cstdio>
+#include <string>
+
+#include "harness/scenarios.hpp"
+
+using namespace amrt;
+using harness::ChainConfig;
+using harness::ChainFlow;
+using harness::ChainPath;
+
+namespace {
+
+void run_one(transport::Protocol proto) {
+  using sim::Duration;
+  ChainConfig cfg;
+  cfg.proto = proto;
+  cfg.link_rate = sim::Bandwidth::gbps(10);
+  // f1 and f2 split bottleneck 1; f3 arrives later and squeezes f1 at
+  // bottleneck 2; f4 then shares bottleneck 2 with f3.
+  cfg.flows = {
+      ChainFlow{ChainPath::kBoth, 5'000'000, Duration::zero()},           // f1
+      ChainFlow{ChainPath::kFirst, 6'000'000, Duration::zero()},          // f2
+      ChainFlow{ChainPath::kSecond, 4'000'000, Duration::milliseconds(1)},// f3
+      ChainFlow{ChainPath::kSecond, 4'000'000, Duration::milliseconds(3)},// f4
+  };
+  cfg.duration = Duration::milliseconds(14);
+  cfg.bin = Duration::microseconds(500);
+
+  const auto r = harness::run_chain(cfg);
+
+  std::printf("== %s ==\n", transport::to_string(proto));
+  std::printf("%-8s", "t(ms)");
+  for (std::size_t f = 0; f < cfg.flows.size(); ++f) std::printf("f%zu(Gbps)  ", f + 1);
+  std::printf("%s\n", "B1 util");
+  const std::size_t bins = r.bottleneck1_util.size();
+  for (std::size_t b = 0; b < bins; b += 2) {
+    std::printf("%-8.1f", static_cast<double>(b) * r.bin.to_millis());
+    for (const auto& series : r.flow_gbps) {
+      std::printf("%-10.2f", b < series.size() ? series[b] : 0.0);
+    }
+    std::printf("%.2f\n", r.bottleneck1_util[b]);
+  }
+  for (std::size_t f = 0; f < r.flow_fct_ms.size(); ++f) {
+    std::printf("f%zu fct: %s\n", f + 1,
+                r.flow_fct_ms[f] < 0 ? "(incomplete)" : (std::to_string(r.flow_fct_ms[f]) + " ms").c_str());
+  }
+  std::printf("bottleneck1 mean util %.1f%%, bottleneck2 mean util %.1f%%, max queue %zu pkts\n\n",
+              100.0 * r.mean_util_b1, 100.0 * r.mean_util_b2, r.max_queue_pkts);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    run_one(transport::protocol_from_string(argv[1]));
+    return 0;
+  }
+  for (auto proto : {transport::Protocol::kPhost, transport::Protocol::kHoma,
+                     transport::Protocol::kNdp, transport::Protocol::kAmrt}) {
+    run_one(proto);
+  }
+  return 0;
+}

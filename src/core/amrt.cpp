@@ -1,0 +1,29 @@
+#include "core/amrt.hpp"
+
+namespace amrt::core {
+
+void AmrtEndpoint::decorate_data(net::Packet& pkt, const SenderFlow& flow) {
+  (void)flow;
+  // Section 4.1: the CE bit is initialized to 1; switches AND it down.
+  pkt.ecn_capable = true;
+  pkt.ce = true;
+}
+
+void AmrtEndpoint::after_arrival(ReceiverFlow& flow, const net::Packet& pkt, bool fresh) {
+  if (pkt.type == net::PacketType::kRts) {
+    // With the unscheduled burst disabled (responsiveness experiments) the
+    // arrival clock needs one seed grant.
+    if (flow.unscheduled_pkts == 0 && flow.granted_new == 0) grant_new(flow, 1, false);
+    return;
+  }
+  if (!fresh) return;  // duplicates must not advance the clock
+
+  // Section 4.3: a marked packet means every bottleneck had room for one
+  // more; echo the mark and trigger two packets instead of one. Credits
+  // repair presumed-lost packets before triggering new data.
+  const bool marked = pkt.ce;
+  const auto issued = issue_credits(flow, marked ? cfg_.amrt_marked_allowance : 1u, marked);
+  if (marked && issued > 0) ++marked_grants_;
+}
+
+}  // namespace amrt::core

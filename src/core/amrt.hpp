@@ -1,0 +1,33 @@
+// The AMRT transport endpoint (Sections 4.2-4.3).
+//
+// Receiver-driven at heart: each fresh data arrival triggers exactly one
+// grant. The twist is the anti-ECN echo: if the arriving packet still
+// carries CE=1 (every bottleneck had spare capacity, see anti_ecn.hpp), the
+// grant is marked and carries an allowance of two packets, so the sender
+// fills the observed gap; otherwise the grant triggers one packet and the
+// flow stays arrival-clocked. Grants never exceed the flow's remaining
+// ungranted packets, and lost packets are re-requested by sequence number
+// after a 1xRTT stall (Section 6).
+#pragma once
+
+#include "transport/receiver_driven.hpp"
+
+namespace amrt::core {
+
+class AmrtEndpoint final : public transport::ReceiverDrivenEndpoint {
+ public:
+  AmrtEndpoint(sim::Scheduler& sched, net::Host& host, transport::TransportConfig cfg,
+               stats::FlowObserver* observer)
+      : ReceiverDrivenEndpoint{sched, host, cfg, observer, transport::Protocol::kAmrt} {}
+
+  [[nodiscard]] std::uint64_t marked_grants_sent() const { return marked_grants_; }
+
+ protected:
+  void decorate_data(net::Packet& pkt, const SenderFlow& flow) override;
+  void after_arrival(ReceiverFlow& flow, const net::Packet& pkt, bool fresh) override;
+
+ private:
+  std::uint64_t marked_grants_ = 0;
+};
+
+}  // namespace amrt::core

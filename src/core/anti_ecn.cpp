@@ -1,0 +1,30 @@
+#include "core/anti_ecn.hpp"
+
+namespace amrt::core {
+
+void AntiEcnMarker::on_dequeue(net::Packet& pkt, sim::TimePoint tx_start,
+                               sim::TimePoint last_tx_end, sim::Bandwidth rate) {
+  // Every transmission advances the gap reference, but only ECN-capable
+  // data packets carry the verdict (grants and trimmed headers are tiny
+  // control frames; marking them would convey nothing).
+  const bool first_use = !link_ever_used_;
+  link_ever_used_ = true;
+  if (pkt.type != net::PacketType::kData || !pkt.ecn_capable || pkt.trimmed) return;
+
+  ++observed_;
+  // Eq. (2): spare bandwidth iff the idle gap could have carried one more
+  // MTU. A never-used link is idle by definition (CE initialized to 1).
+  const sim::Duration gap = tx_start - last_tx_end;
+  const bool spare = first_use || gap >= rate.tx_time(probe_bytes_);
+
+  // Eq. (3): CE_final = CE_current & CE_last.
+  const bool before = pkt.ce;
+  pkt.ce = pkt.ce && spare;
+  if (pkt.ce) {
+    ++kept_marked_;
+  } else if (before) {
+    ++cleared_;
+  }
+}
+
+}  // namespace amrt::core

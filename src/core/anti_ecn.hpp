@@ -1,0 +1,45 @@
+// Anti-ECN marking (Section 4.1) — the paper's core switch-side mechanism.
+//
+// A switch egress port measures the idle gap between consecutive data-packet
+// transmissions. If the gap is long enough to have carried one more
+// MTU-sized packet, the link has spare bandwidth and the departing packet's
+// CE bit stays set; otherwise CE is cleared. Because senders initialize
+// CE=1 and every switch ANDs its own verdict in (Eq. 3), a packet reaches
+// the receiver marked iff *every* bottleneck on its path had spare capacity —
+// exactly the condition under which the sender may safely add a packet.
+//
+// Note on Eq. (1)/(2): we interpret the "inter-dequeue time" as the idle gap
+// between the end of the previous transmission and the start of the current
+// one. Back-to-back packets then yield a gap of zero (saturated link, no
+// mark); measuring start-to-start timestamps instead would mark saturated
+// links whose gap merely equals the previous packet's serialization time.
+#pragma once
+
+#include <cstdint>
+
+#include "net/marker.hpp"
+
+namespace amrt::core {
+
+class AntiEcnMarker final : public net::DequeueMarker {
+ public:
+  // `probe_bytes` is the MSS of Eq. (2): the paper uses the full Ethernet
+  // MTU (1500B) regardless of actual packet sizes, "to avoid congestion".
+  explicit AntiEcnMarker(std::uint32_t probe_bytes = net::kMtuBytes) : probe_bytes_{probe_bytes} {}
+
+  void on_dequeue(net::Packet& pkt, sim::TimePoint tx_start, sim::TimePoint last_tx_end,
+                  sim::Bandwidth rate) override;
+
+  [[nodiscard]] std::uint64_t observed() const { return observed_; }
+  [[nodiscard]] std::uint64_t kept_marked() const { return kept_marked_; }
+  [[nodiscard]] std::uint64_t cleared() const { return cleared_; }
+
+ private:
+  std::uint32_t probe_bytes_;
+  bool link_ever_used_ = false;
+  std::uint64_t observed_ = 0;
+  std::uint64_t kept_marked_ = 0;
+  std::uint64_t cleared_ = 0;
+};
+
+}  // namespace amrt::core

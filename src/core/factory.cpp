@@ -1,0 +1,52 @@
+#include "core/factory.hpp"
+
+#include "core/anti_ecn.hpp"
+#include "transport/homa.hpp"
+#include "transport/ndp.hpp"
+#include "transport/phost.hpp"
+
+namespace amrt::core {
+
+using transport::Protocol;
+
+std::unique_ptr<transport::TransportEndpoint> make_endpoint(Protocol proto, sim::Scheduler& sched,
+                                                            net::Host& host,
+                                                            const transport::TransportConfig& cfg,
+                                                            stats::FlowObserver* observer) {
+  switch (proto) {
+    case Protocol::kAmrt:
+      return std::make_unique<AmrtEndpoint>(sched, host, cfg, observer);
+    case Protocol::kPhost:
+      return std::make_unique<transport::PhostEndpoint>(sched, host, cfg, observer);
+    case Protocol::kHoma:
+      return std::make_unique<transport::HomaEndpoint>(sched, host, cfg, observer);
+    case Protocol::kNdp:
+      return std::make_unique<transport::NdpEndpoint>(sched, host, cfg, observer);
+  }
+  return nullptr;
+}
+
+net::QueueFactory make_queue_factory(Protocol proto, QueueConfig cfg) {
+  return [proto, cfg](bool host_nic) -> std::unique_ptr<net::EgressQueue> {
+    if (host_nic) return std::make_unique<net::DropTailQueue>(cfg.host_nic_pkts);
+    switch (proto) {
+      case Protocol::kNdp:
+        return std::make_unique<net::TrimmingQueue>(cfg.trim_threshold);
+      case Protocol::kHoma:
+        return std::make_unique<net::StrictPriorityQueue>(cfg.priority_levels, cfg.buffer_pkts);
+      case Protocol::kAmrt:
+        if (cfg.selective_drop) return std::make_unique<net::SelectiveDropQueue>(cfg.buffer_pkts);
+        return std::make_unique<net::DropTailQueue>(cfg.buffer_pkts);
+      case Protocol::kPhost:
+        return std::make_unique<net::DropTailQueue>(cfg.buffer_pkts);
+    }
+    return std::make_unique<net::DropTailQueue>(cfg.buffer_pkts);
+  };
+}
+
+net::MarkerFactory make_marker_factory(Protocol proto, std::uint32_t probe_bytes) {
+  if (proto != Protocol::kAmrt) return nullptr;
+  return [probe_bytes] { return std::make_unique<AntiEcnMarker>(probe_bytes); };
+}
+
+}  // namespace amrt::core

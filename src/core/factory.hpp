@@ -1,0 +1,40 @@
+// One-stop construction of a protocol's moving parts: the endpoint, the
+// switch queue discipline it expects, and (for AMRT) the anti-ECN marker.
+// Experiments pick a Protocol; everything else follows.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/amrt.hpp"
+#include "net/queue.hpp"
+#include "transport/config.hpp"
+#include "transport/endpoint.hpp"
+
+namespace amrt::core {
+
+[[nodiscard]] std::unique_ptr<transport::TransportEndpoint> make_endpoint(
+    transport::Protocol proto, sim::Scheduler& sched, net::Host& host,
+    const transport::TransportConfig& cfg, stats::FlowObserver* observer);
+
+struct QueueConfig {
+  std::size_t buffer_pkts = 128;      // Section 8.1's switch buffer
+  std::size_t trim_threshold = 8;     // NDP trimming point (Section 6)
+  std::size_t priority_levels = 8;    // Homa priority bands
+  std::size_t host_nic_pkts = 8192;   // room for the unscheduled burst
+  // AMRT extension: Aeolus-style selective dropping — when a queue is full,
+  // blind unscheduled packets are sacrificed before granted traffic.
+  bool selective_drop = false;
+};
+
+// Switch-port queue discipline per protocol: trimming for NDP, strict
+// priorities for Homa, drop-tail otherwise.
+[[nodiscard]] net::QueueFactory make_queue_factory(transport::Protocol proto, QueueConfig cfg = {});
+
+// Anti-ECN markers for AMRT; a null factory for the baselines.
+// `probe_bytes` is Eq. (2)'s MSS (the gap must fit this many bytes to count
+// as spare bandwidth); the paper uses the full 1500B MTU.
+[[nodiscard]] net::MarkerFactory make_marker_factory(transport::Protocol proto,
+                                                     std::uint32_t probe_bytes = net::kMtuBytes);
+
+}  // namespace amrt::core

@@ -1,0 +1,31 @@
+// Minimal table/CSV emitter for benchmark output: fixed columns, aligned
+// stdout rendering, optional CSV dump for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace amrt::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_{std::move(columns)} {}
+
+  // Cells are stringified by the caller-side helpers below.
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;       // aligned, human-readable
+  void print_csv(std::ostream& os) const;   // machine-readable
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);  // 0.368 -> "36.8%"
+
+}  // namespace amrt::harness

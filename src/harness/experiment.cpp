@@ -1,0 +1,182 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <ostream>
+
+#include "net/monitor.hpp"
+#include "net/topology.hpp"
+#include "sim/trace.hpp"
+
+namespace amrt::harness {
+
+void write_fct_csv(std::ostream& os, const std::vector<stats::FlowRecord>& records) {
+  os << "flow,bytes,start_us,end_us,fct_us\n";
+  for (const auto& r : records) {
+    os << r.flow << ',' << r.bytes << ',' << r.start.to_micros() << ',' << r.end.to_micros()
+       << ',' << r.fct().to_micros() << '\n';
+  }
+}
+
+namespace {
+// Per-port mean utilization restricted to the port's own active window, so
+// a downlink that only carried traffic for 2ms of a 50ms run is judged on
+// those 2ms (this is the "bottleneck utilization" of Fig. 13). Also returns
+// the bytes the port moved, used as the weight when averaging across ports:
+// a downlink that served one tiny RPC should not dilute the busy ones where
+// the protocols actually differ.
+struct PortUtilization {
+  double utilization = -1.0;  // -1: never active
+  double weight_bytes = 0.0;
+};
+
+PortUtilization active_window_utilization(const net::PortSampler& sampler) {
+  const auto& samples = sampler.samples();
+  std::size_t first = samples.size();
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].utilization > 0.0) {
+      first = std::min(first, i);
+      last = i;
+    }
+  }
+  if (first >= samples.size()) return {};
+  double sum = 0.0;
+  for (std::size_t i = first; i <= last; ++i) sum += samples[i].utilization;
+  return PortUtilization{sum / static_cast<double>(last - first + 1),
+                         static_cast<double>(samples[last].bytes_sent)};
+}
+}  // namespace
+
+ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  sim::Scheduler sched;
+  net::Network network{sched};
+
+  net::LeafSpineConfig topo_cfg;
+  topo_cfg.leaves = cfg.leaves;
+  topo_cfg.spines = cfg.spines;
+  topo_cfg.hosts_per_leaf = cfg.hosts_per_leaf;
+  topo_cfg.link_rate = cfg.link_rate;
+  topo_cfg.link_delay = cfg.link_delay;
+  topo_cfg.host_nic_queue_pkts = cfg.queues.host_nic_pkts;
+  topo_cfg.queue_factory = core::make_queue_factory(cfg.proto, cfg.queues);
+  topo_cfg.marker_factory = core::make_marker_factory(cfg.proto);
+  topo_cfg.multipath = cfg.multipath;
+  net::LeafSpine topo = net::build_leaf_spine(network, topo_cfg);
+
+  transport::TransportConfig tcfg;
+  tcfg.host_rate = cfg.link_rate;
+  tcfg.base_rtt = topo.base_rtt;
+  tcfg.homa_overcommit = cfg.homa_overcommit;
+  tcfg.loss_timeout = cfg.loss_timeout;
+
+  stats::FctRecorder recorder{cfg.link_rate, topo.base_rtt};
+  std::vector<transport::TransportEndpoint*> endpoints;
+  endpoints.reserve(topo.hosts.size());
+  for (net::Host* host : topo.hosts) {
+    auto ep = core::make_endpoint(cfg.proto, sched, *host, tcfg, &recorder);
+    endpoints.push_back(ep.get());
+    host->attach(std::move(ep));
+  }
+
+  // Workload.
+  sim::Rng rng{cfg.seed};
+  workload::FlowGenerator gen{workload::cdf(cfg.workload), rng};
+  workload::TrafficConfig traffic;
+  traffic.load = cfg.load;
+  traffic.n_flows = cfg.n_flows;
+  traffic.n_hosts = topo.hosts.size();
+  traffic.host_rate = cfg.link_rate;
+  const auto flows = gen.generate(traffic);
+  if (flows.empty()) return {};
+
+  for (const auto& f : flows) {
+    transport::FlowSpec spec{f.id, topo.hosts[f.src_host]->id(), topo.hosts[f.dst_host]->id(),
+                             f.bytes, f.start};
+    transport::TransportEndpoint* src_ep = endpoints[f.src_host];
+    sched.at(f.start, [src_ep, spec] { src_ep->start_flow(spec); });
+  }
+
+  // Monitors on every receiver downlink (the typical bottleneck) plus the
+  // fabric, for queue high-water marks.
+  std::vector<std::unique_ptr<net::PortSampler>> downlinks;
+  std::vector<std::unique_ptr<net::PortSampler>> fabric;
+  for (int l = 0; l < cfg.leaves; ++l) {
+    for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
+      downlinks.push_back(std::make_unique<net::PortSampler>(
+          sched, topo.leaves[l]->port(topo.leaf_down[l][h]), cfg.sample_interval));
+      downlinks.back()->start();
+    }
+    for (int s = 0; s < cfg.spines; ++s) {
+      fabric.push_back(std::make_unique<net::PortSampler>(
+          sched, topo.leaves[l]->port(topo.leaf_up[l][s]), cfg.sample_interval));
+      fabric.back()->start();
+      fabric.push_back(std::make_unique<net::PortSampler>(
+          sched, topo.spines[s]->port(topo.spine_down[s][l]), cfg.sample_interval));
+      fabric.back()->start();
+    }
+  }
+
+  // Stop as soon as every flow has completed (samplers and recovery timers
+  // would otherwise keep the event loop alive forever).
+  const std::size_t expected = flows.size();
+  const sim::TimePoint last_start = flows.back().start;
+  std::function<void()> poll = [&] {
+    if (recorder.completed().size() >= expected && sched.now() > last_start) {
+      sched.stop();
+      return;
+    }
+    sched.after(sim::Duration::milliseconds(1), poll);
+  };
+  sched.after(sim::Duration::milliseconds(1), poll);
+
+  sched.run_until(sim::TimePoint::zero() + cfg.max_sim_time);
+
+  ExperimentResult out;
+  out.fct_all = recorder.summarize();
+  out.fct_small = recorder.summarize(0, 100'000);
+  out.fct_large = recorder.summarize(1'000'000, UINT64_MAX);
+  out.flows_started = recorder.started_count();
+  out.flows_completed = recorder.completed().size();
+  out.flow_records = recorder.completed();
+  out.bytes_delivered = recorder.bytes_delivered();
+  out.events = sched.events_processed();
+  out.sim_seconds = sched.now().to_seconds();
+
+  double util_sum = 0.0;
+  double weight_sum = 0.0;
+  for (const auto& s : downlinks) {
+    const auto u = active_window_utilization(*s);
+    if (u.utilization >= 0.0) {
+      util_sum += u.utilization * u.weight_bytes;
+      weight_sum += u.weight_bytes;
+    }
+    out.max_queue_pkts = std::max(out.max_queue_pkts, s->max_queue_pkts());
+  }
+  for (const auto& s : fabric) {
+    out.max_queue_pkts = std::max(out.max_queue_pkts, s->max_queue_pkts());
+  }
+  out.mean_utilization = weight_sum == 0.0 ? 0.0 : util_sum / weight_sum;
+
+  for (auto& sw : network.switches()) {
+    for (int p = 0; p < sw->port_count(); ++p) {
+      out.drops += sw->port(p).queue().stats().dropped;
+      out.trims += sw->port(p).queue().stats().trimmed;
+    }
+  }
+
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  if (out.flows_completed < out.flows_started) {
+    AMRT_WARN("run_leaf_spine[%s/%s]: %zu of %zu flows incomplete at t=%s",
+              transport::to_string(cfg.proto), workload::abbrev(cfg.workload),
+              out.flows_started - out.flows_completed, out.flows_started, sched.now().str().c_str());
+  }
+  return out;
+}
+
+}  // namespace amrt::harness

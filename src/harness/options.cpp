@@ -1,0 +1,61 @@
+#include "harness/options.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace amrt::harness {
+
+namespace {
+std::vector<double> parse_list(const std::string& s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t next = s.find(',', pos);
+    if (next == std::string::npos) next = s.size();
+    out.push_back(std::stod(s.substr(pos, next - pos)));
+    pos = next + 1;
+  }
+  return out;
+}
+}  // namespace
+
+std::size_t BenchOptions::scaled(std::size_t base) const {
+  if (flows) return *flows;
+  const auto n = static_cast<std::size_t>(static_cast<double>(base) * scale);
+  return std::max<std::size_t>(n, 20);
+}
+
+BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions opts;
+  if (const char* env = std::getenv("AMRT_BENCH_SCALE"); env != nullptr) {
+    opts.scale = std::stod(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (arg == "--paper-scale") {
+      opts.paper_scale = true;
+    } else if (arg == "--csv") {
+      opts.csv = true;
+    } else if (auto flows = value_of("--flows=")) {
+      opts.flows = static_cast<std::size_t>(std::stoull(*flows));
+    } else if (auto seed = value_of("--seed=")) {
+      opts.seed = std::stoull(*seed);
+    } else if (auto loads = value_of("--loads=")) {
+      opts.loads = parse_list(*loads);
+    } else if (auto scale = value_of("--scale=")) {
+      opts.scale = std::stod(*scale);
+    } else if (arg == "--help" || arg == "-h") {
+      throw std::invalid_argument(
+          "options: --paper-scale --csv --flows=N --seed=S --loads=a,b,c --scale=X");
+    }
+    // Unknown flags are ignored so google-benchmark style flags pass through.
+  }
+  return opts;
+}
+
+}  // namespace amrt::harness

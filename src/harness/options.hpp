@@ -1,0 +1,34 @@
+// Command-line / environment knobs shared by the bench binaries.
+//
+// Every figure bench accepts:
+//   --paper-scale      full Section 8.1 topology and flow counts (slow)
+//   --flows=N          override the flow count
+//   --seed=S           RNG seed
+//   --loads=a,b,c      subset of load points (fig12)
+//   --csv              emit CSV instead of aligned tables
+// plus AMRT_BENCH_SCALE (a float multiplier on flow counts) from the
+// environment, so CI can shrink everything uniformly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace amrt::harness {
+
+struct BenchOptions {
+  bool paper_scale = false;
+  bool csv = false;
+  std::optional<std::size_t> flows;
+  std::uint64_t seed = 1;
+  std::vector<double> loads;   // empty = bench default
+  double scale = 1.0;          // from AMRT_BENCH_SCALE
+
+  // Applies `scale` to a default count, with a sane floor.
+  [[nodiscard]] std::size_t scaled(std::size_t base) const;
+};
+
+[[nodiscard]] BenchOptions parse_bench_options(int argc, char** argv);
+
+}  // namespace amrt::harness

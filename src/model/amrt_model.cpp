@@ -1,0 +1,87 @@
+#include "model/amrt_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace amrt::model {
+
+FillTime fill_time(std::uint32_t n, std::uint32_t k) {
+  if (n == 0 || k >= n) throw std::invalid_argument("fill_time: need 0 <= k < n");
+  FillTime out;
+  if (k == 0) return out;
+  out.min_rtts = std::ceil(static_cast<double>(k) / static_cast<double>(n - k));
+  out.max_rtts = static_cast<double>(k);
+  return out;
+}
+
+namespace {
+void validate(const Scenario& s) {
+  if (s.S <= 0 || s.C <= 0 || s.R <= 0 || s.R >= s.C || s.rtt <= 0) {
+    throw std::invalid_argument("Scenario: need S,C,rtt > 0 and 0 < R < C");
+  }
+  if (s.S * 8.0 <= s.C * s.T_R) {
+    throw std::invalid_argument("Scenario: flow finishes before the rate drop");
+  }
+}
+
+// Packet slots per RTT at capacity, and how many go vacant at rate R.
+double slots_per_rtt(const Scenario& s) { return s.C * s.rtt / (8.0 * s.mtu); }
+}  // namespace
+
+double fct_traditional(const Scenario& s) {
+  validate(s);
+  const double bits = s.S * 8.0;
+  return (bits - s.C * s.T_R) / s.R + s.T_R;  // Eq. (6)
+}
+
+double convergence_earliest(const Scenario& s) {
+  validate(s);
+  // Eq. (7), with each doubling step taking one RTT: ceil((C-R)/R) RTTs.
+  return std::ceil((s.C - s.R) / s.R) * s.rtt + s.T_R;
+}
+
+double convergence_latest(const Scenario& s) {
+  validate(s);
+  // Eq. (8), in packet slots: k consecutive vacancies take k RTTs (Eq. 5)
+  // with k = n * (C-R)/C vacancies per RTT window.
+  const double n = slots_per_rtt(s);
+  const double k = n * (s.C - s.R) / s.C;
+  return std::max(1.0, std::ceil(k)) * s.rtt + s.T_R;
+}
+
+double fct_amrt(const Scenario& s, double t_prime) {
+  validate(s);
+  const double bits = s.S * 8.0;
+  // Eq. (10): linear ramp R -> C over [T_R, t'], then full rate.
+  const double ramp_bits = 0.5 * (s.R + s.C) * (t_prime - s.T_R);
+  return (bits - s.C * s.T_R - ramp_bits) / s.C + t_prime;
+}
+
+double utilization_gain(const Scenario& s, double t_prime) {
+  return fct_traditional(s) / fct_amrt(s, t_prime);  // Eq. (11)
+}
+
+double fct_gain(const Scenario& s, double t_prime) {
+  const double ti = s.S * 8.0 / s.C;
+  const double t2 = fct_amrt(s, t_prime);
+  if (t2 <= ti) return std::numeric_limits<double>::infinity();
+  return (fct_traditional(s) - ti) / (t2 - ti);  // Eq. (12)
+}
+
+GainBounds utilization_gain_bounds(const Scenario& s) {
+  // The latest convergence usually gives the smallest gain; for flows that
+  // finish mid-ramp the order can flip, so normalize.
+  const double a = utilization_gain(s, convergence_latest(s));
+  const double b = utilization_gain(s, convergence_earliest(s));
+  return GainBounds{std::min(a, b), std::max(a, b)};
+}
+
+GainBounds fct_gain_bounds(const Scenario& s) {
+  const double a = fct_gain(s, convergence_latest(s));
+  const double b = fct_gain(s, convergence_earliest(s));
+  return GainBounds{std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace amrt::model

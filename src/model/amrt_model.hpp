@@ -1,0 +1,61 @@
+// Section 5's closed-form model of AMRT's utilization and FCT gains.
+//
+// The packet-slot forms (Eq. 4/5) are primary: with n back-to-back packets
+// per RTT and k of them vacated, AMRT needs between ceil(k/(n-k)) and k RTTs
+// to refill the link. The rate-form bounds (Eq. 7/8) are derived from them;
+// the paper's printed versions omit the RTT factor, which we restore (see
+// DESIGN.md §2). Figure 7 is produced by sweeping these formulas.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace amrt::model {
+
+struct FillTime {
+  double min_rtts = 0;  // Eq. (4): vacancies evenly spread
+  double max_rtts = 0;  // Eq. (5): vacancies consecutive
+};
+
+// Time (in RTTs) for AMRT to refill a link after k of n per-RTT packet
+// slots go vacant. Requires 0 <= k < n.
+[[nodiscard]] FillTime fill_time(std::uint32_t n, std::uint32_t k);
+
+// Scenario of Fig. 6: a flow of `S` bytes runs at capacity C until time T_R,
+// then drops to R (both in bits/sec, times in seconds).
+struct Scenario {
+  double S = 0;        // flow size, bytes
+  double C = 0;        // bottleneck capacity, bits/sec
+  double R = 0;        // reduced rate, bits/sec (0 < R < C)
+  double T_R = 0;      // time of the rate reduction, seconds
+  double rtt = 0;      // base round-trip time, seconds
+  double mtu = 1500;   // bytes per packet slot
+};
+
+// Eq. (6): completion time of a traditional receiver-driven protocol.
+[[nodiscard]] double fct_traditional(const Scenario& s);
+
+// Eq. (7)/(8) with the RTT factor restored: the earliest/latest instant at
+// which AMRT is back at full rate C.
+[[nodiscard]] double convergence_earliest(const Scenario& s);
+[[nodiscard]] double convergence_latest(const Scenario& s);
+
+// Eq. (10): AMRT's completion time given the convergence instant t'.
+[[nodiscard]] double fct_amrt(const Scenario& s, double t_prime);
+
+// Eq. (11): U_AMRT / U_TRP = T1 / T2.
+[[nodiscard]] double utilization_gain(const Scenario& s, double t_prime);
+
+// Eq. (12): (T1 - Ti) / (T2 - Ti) with Ti = S/C the ideal FCT.
+[[nodiscard]] double fct_gain(const Scenario& s, double t_prime);
+
+// Convenience: the {min, max} gain pair obtained at t'_max / t'_min.
+struct GainBounds {
+  double min_gain = 0;
+  double max_gain = 0;
+};
+[[nodiscard]] GainBounds utilization_gain_bounds(const Scenario& s);
+[[nodiscard]] GainBounds fct_gain_bounds(const Scenario& s);
+
+}  // namespace amrt::model

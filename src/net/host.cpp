@@ -1,0 +1,22 @@
+#include "net/host.hpp"
+
+#include "sim/trace.hpp"
+
+namespace amrt::net {
+
+Host::Host(sim::Scheduler& sched, NodeId id, std::string name,
+           EgressPort::Config nic_cfg, std::unique_ptr<EgressQueue> nic_queue)
+    : Node{id, std::move(name)}, nic_{sched, std::move(nic_cfg), std::move(nic_queue)} {}
+
+void Host::attach(std::unique_ptr<PacketSink> sink) { sink_ = std::move(sink); }
+
+void Host::handle_packet(Packet&& pkt, int /*ingress_port*/) {
+  bytes_received_ += pkt.wire_bytes;
+  if (sink_ != nullptr) {
+    sink_->deliver(std::move(pkt));
+  } else {
+    AMRT_WARN("host %s dropped packet (no transport attached): %s", name().c_str(), pkt.str().c_str());
+  }
+}
+
+}  // namespace amrt::net

@@ -1,0 +1,42 @@
+// End host: a single NIC egress port plus a transport attachment point.
+//
+// The host owns its transport endpoint through the PacketSink interface so
+// the network layer never depends on the transport layer's types.
+#pragma once
+
+#include <memory>
+
+#include "net/node.hpp"
+#include "net/port.hpp"
+#include "sim/scheduler.hpp"
+
+namespace amrt::net {
+
+class Host final : public Node {
+ public:
+  Host(sim::Scheduler& sched, NodeId id, std::string name,
+       EgressPort::Config nic_cfg, std::unique_ptr<EgressQueue> nic_queue);
+
+  // Installs the transport stack; the host takes ownership.
+  void attach(std::unique_ptr<PacketSink> sink);
+  [[nodiscard]] bool has_sink() const { return sink_ != nullptr; }
+
+  // Transmits via the NIC (subject to its queue and line rate).
+  void send(Packet&& pkt) { nic_.enqueue(std::move(pkt)); }
+
+  void handle_packet(Packet&& pkt, int ingress_port) override;
+
+  [[nodiscard]] EgressPort& nic() { return nic_; }
+  [[nodiscard]] const EgressPort& nic() const { return nic_; }
+  [[nodiscard]] sim::Bandwidth link_rate() const { return nic_.config().rate; }
+
+  // Bytes received off the wire (any packet type), for throughput meters.
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  EgressPort nic_;
+  std::unique_ptr<PacketSink> sink_;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace amrt::net

@@ -1,0 +1,30 @@
+// Dequeue-time packet rewriting hook.
+//
+// The anti-ECN marker (src/core/anti_ecn.hpp) is the one implementation the
+// paper needs, but the hook is generic: a marker observes each packet at the
+// instant it begins transmission, together with when the port last finished
+// transmitting — exactly the state Section 4.1 requires a switch to keep.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace amrt::net {
+
+class DequeueMarker {
+ public:
+  virtual ~DequeueMarker() = default;
+
+  // `tx_start`     — current virtual time; transmission of `pkt` begins now.
+  // `last_tx_end`  — when this port's previous transmission completed.
+  // `rate`         — the port's line rate (the C of Eq. 2).
+  virtual void on_dequeue(Packet& pkt, sim::TimePoint tx_start,
+                          sim::TimePoint last_tx_end, sim::Bandwidth rate) = 0;
+};
+
+using MarkerFactory = std::function<std::unique_ptr<DequeueMarker>()>;
+
+}  // namespace amrt::net

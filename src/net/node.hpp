@@ -1,0 +1,37 @@
+// Abstract network element (host or switch) and the sink interface that
+// decouples the network layer from the transport layer above it.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "net/packet.hpp"
+
+namespace amrt::net {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_{id}, name_{std::move(name)} {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // A packet arrives from the wire on `ingress_port`.
+  virtual void handle_packet(Packet&& pkt, int ingress_port) = 0;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+// What a Host delivers received packets to (implemented by transports).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(Packet&& pkt) = 0;
+};
+
+}  // namespace amrt::net

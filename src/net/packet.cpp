@@ -1,0 +1,22 @@
+#include "net/packet.hpp"
+
+#include <cstdio>
+
+namespace amrt::net {
+
+std::string Packet::str() const {
+  const char* t = "?";
+  switch (type) {
+    case PacketType::kData: t = trimmed ? "HDR" : "DATA"; break;
+    case PacketType::kRts: t = "RTS"; break;
+    case PacketType::kGrant: t = "GRANT"; break;
+    case PacketType::kDone: t = "DONE"; break;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s flow=%llu seq=%u %uB %u->%u ce=%d prio=%u",
+                t, static_cast<unsigned long long>(flow), seq, wire_bytes,
+                src.value, dst.value, ce ? 1 : 0, priority);
+  return buf;
+}
+
+}  // namespace amrt::net

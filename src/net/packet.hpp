@@ -1,0 +1,85 @@
+// The on-wire unit of the simulator.
+//
+// One flat struct carries every protocol's fields; a given transport only
+// reads/writes the subset it defines. This keeps the hot path allocation-free
+// (packets move by value through ports and switches) at the cost of a few
+// unused bytes per packet — the standard trade in packet-level simulators.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace amrt::net {
+
+// Identifies a host or switch in a Network. Strongly typed so ports, flow
+// ids and node ids cannot be mixed up.
+struct NodeId {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+using FlowId = std::uint64_t;
+
+enum class PacketType : std::uint8_t {
+  kData,   // payload-carrying packet (possibly trimmed to a header by NDP queues)
+  kRts,    // flow announcement: sender -> receiver, carries flow_bytes
+  kGrant,  // receiver -> sender credit (AMRT grant, pHost token, Homa grant, NDP pull)
+  kDone,   // receiver -> sender: flow fully received, release state
+};
+
+// Wire-size constants shared by all protocols (Section 3/4 of the paper:
+// 1500B Ethernet MTU, ECN in the IP header, 64B minimum-size control frames).
+inline constexpr std::uint32_t kMtuBytes = 1500;
+inline constexpr std::uint32_t kHeaderBytes = 40;
+inline constexpr std::uint32_t kMssBytes = kMtuBytes - kHeaderBytes;  // payload per full packet
+inline constexpr std::uint32_t kCtrlBytes = 64;
+
+struct Packet {
+  FlowId flow = 0;
+  std::uint32_t seq = 0;       // data: packet index within the flow; grant: grant serial
+  std::uint32_t wire_bytes = 0;
+  std::uint32_t payload_bytes = 0;
+  PacketType type = PacketType::kData;
+  NodeId src{};
+  NodeId dst{};
+
+  // --- priority / ECN state (switch-visible header bits) ---
+  std::uint8_t priority = 0;   // 0 = highest; used by StrictPriorityQueue (Homa)
+  bool ecn_capable = false;    // AMRT data packets participate in anti-ECN marking
+  bool ce = false;             // anti-ECN: senders emit CE=1, switches AND it down (Eq. 3)
+  bool trimmed = false;        // NDP: payload removed by an overloaded queue
+  bool unscheduled = false;    // sent blind in the first BDP (Aeolus-style drop preference)
+
+  // --- grant fields (receiver -> sender) ---
+  bool marked_grant = false;       // AMRT: echo of the data packet's CE bit
+  std::uint16_t allowance = 1;     // number of new data packets this grant triggers
+  std::int64_t request_seq = -1;   // >=0: retransmit exactly this sequence number
+  std::uint64_t grant_offset = 0;  // Homa: authorized byte offset
+
+  // --- flow metadata (first packet / RTS advertising) ---
+  std::uint64_t flow_bytes = 0;
+
+  sim::TimePoint created{};
+
+  [[nodiscard]] bool is_control() const { return type != PacketType::kData || trimmed; }
+  [[nodiscard]] std::string str() const;
+};
+
+// Number of MSS-sized packets needed to carry `bytes` of payload.
+[[nodiscard]] constexpr std::uint32_t packets_for_bytes(std::uint64_t bytes) {
+  if (bytes == 0) return 0;
+  return static_cast<std::uint32_t>((bytes + kMssBytes - 1) / kMssBytes);
+}
+
+// Payload carried by packet `seq` of a `total_bytes` flow (last one may be short).
+[[nodiscard]] constexpr std::uint32_t payload_of_seq(std::uint64_t total_bytes, std::uint32_t seq) {
+  const std::uint64_t offset = static_cast<std::uint64_t>(seq) * kMssBytes;
+  if (offset >= total_bytes) return 0;
+  const std::uint64_t left = total_bytes - offset;
+  return static_cast<std::uint32_t>(left < kMssBytes ? left : kMssBytes);
+}
+
+}  // namespace amrt::net

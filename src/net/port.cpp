@@ -1,0 +1,61 @@
+#include "net/port.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace amrt::net {
+
+EgressPort::EgressPort(sim::Scheduler& sched, Config cfg, std::unique_ptr<EgressQueue> queue)
+    : sched_{sched}, cfg_{std::move(cfg)}, queue_{std::move(queue)}, jitter_rng_{cfg_.jitter_seed} {
+  if (!queue_) throw std::invalid_argument("EgressPort requires a queue");
+  if (cfg_.rate.bits_per_second() <= 0) throw std::invalid_argument("EgressPort requires a positive rate");
+}
+
+void EgressPort::connect(Node& peer, int peer_ingress_port) {
+  peer_ = &peer;
+  peer_port_ = peer_ingress_port;
+}
+
+void EgressPort::add_marker(std::unique_ptr<DequeueMarker> marker) {
+  markers_.push_back(std::move(marker));
+}
+
+void EgressPort::enqueue(Packet&& pkt) {
+  queue_->enqueue(std::move(pkt));
+  if (!busy_) start_next_transmission();
+}
+
+void EgressPort::start_next_transmission() {
+  assert(!busy_);
+  auto next = queue_->dequeue();
+  if (!next) return;
+
+  const sim::TimePoint tx_start = sched_.now();
+  for (auto& marker : markers_) {
+    marker->on_dequeue(*next, tx_start, last_tx_end_, cfg_.rate);
+  }
+
+  sim::Duration tx = cfg_.rate.tx_time(next->wire_bytes);
+  busy_ = true;
+  busy_time_ += tx;
+  bytes_sent_ += next->wire_bytes;
+  ++packets_sent_;
+  if (cfg_.tx_jitter > sim::Duration::zero()) {
+    tx += sim::Duration::nanoseconds(jitter_rng_.uniform_int(0, cfg_.tx_jitter.ns()));
+  }
+
+  // One event at transmission end handles both the link hand-off and the
+  // next dequeue; the propagation delay is folded into the delivery event.
+  sched_.after(tx, [this, pkt = std::move(*next)]() mutable {
+    last_tx_end_ = sched_.now();
+    busy_ = false;
+    if (peer_ != nullptr) {
+      sched_.after(cfg_.delay, [this, p = std::move(pkt)]() mutable {
+        peer_->handle_packet(std::move(p), peer_port_);
+      });
+    }
+    start_next_transmission();
+  });
+}
+
+}  // namespace amrt::net

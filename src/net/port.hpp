@@ -1,0 +1,77 @@
+// An egress port: queue + serializer + propagation delay.
+//
+// This is the simulator's congestion point. Packets are enqueued by the
+// owning node; the port transmits them one at a time at its line rate and
+// delivers each to the peer node after the link's propagation delay
+// (store-and-forward). Dequeue markers run at transmission start, which is
+// where AMRT's inter-dequeue-gap measurement lives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/marker.hpp"
+#include "net/node.hpp"
+#include "net/queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace amrt::net {
+
+class EgressPort {
+ public:
+  struct Config {
+    sim::Bandwidth rate;
+    sim::Duration delay;  // propagation delay to the peer
+    std::string name;     // for diagnostics, e.g. "leaf0->spine2"
+    // Uniform random extra delay added per transmission (host NICs only;
+    // models OS/NIC timing noise). Without it a deterministic simulator
+    // phase-locks equal-rate senders and drop-tail races become
+    // winner-takes-all — the same reason NS2 randomizes packet processing.
+    sim::Duration tx_jitter = sim::Duration::zero();
+    std::uint64_t jitter_seed = 0;
+  };
+
+  EgressPort(sim::Scheduler& sched, Config cfg, std::unique_ptr<EgressQueue> queue);
+
+  // Wires the far end. Must be called before the first enqueue.
+  void connect(Node& peer, int peer_ingress_port);
+
+  void add_marker(std::unique_ptr<DequeueMarker> marker);
+
+  // Hands a packet to this port; it is queued (or dropped/trimmed) and
+  // transmitted in turn.
+  void enqueue(Packet&& pkt);
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const EgressQueue& queue() const { return *queue_; }
+  [[nodiscard]] bool busy() const { return busy_; }
+
+  // --- telemetry (read by monitors) ---
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] sim::Duration busy_time() const { return busy_time_; }
+  [[nodiscard]] sim::TimePoint last_tx_end() const { return last_tx_end_; }
+
+ private:
+  void start_next_transmission();
+
+  sim::Scheduler& sched_;
+  Config cfg_;
+  std::unique_ptr<EgressQueue> queue_;
+  std::vector<std::unique_ptr<DequeueMarker>> markers_;
+  Node* peer_ = nullptr;
+  int peer_port_ = -1;
+  sim::Rng jitter_rng_;
+  bool busy_ = false;
+  sim::TimePoint last_tx_end_ = sim::TimePoint::zero();
+
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  sim::Duration busy_time_ = sim::Duration::zero();
+};
+
+}  // namespace amrt::net

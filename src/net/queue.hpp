@@ -1,0 +1,138 @@
+// Egress queue disciplines.
+//
+// Every egress port owns one EgressQueue. The base class implements the
+// strict-priority *control band* (grants, tokens, pulls, RTS, and NDP's
+// trimmed headers) that all receiver-driven designs rely on: credit packets
+// must not starve behind data or the grant clock collapses. Concrete
+// subclasses define only the data band:
+//
+//   DropTailQueue       — plain FIFO with a packet-count cap (pHost/Homa/AMRT)
+//   TrimmingQueue       — NDP: beyond a threshold, payloads are cut and the
+//                         64B header is promoted into the control band
+//   StrictPriorityQueue — Homa: N FIFO bands selected by Packet::priority
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace amrt::net {
+
+struct QueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t trimmed = 0;
+  std::size_t max_data_pkts = 0;     // high-water mark of the data band
+  std::uint64_t data_bytes_in = 0;   // accepted data-band bytes
+};
+
+class EgressQueue {
+ public:
+  virtual ~EgressQueue() = default;
+
+  // Consumes the packet: accepted into a band, trimmed, or dropped.
+  void enqueue(Packet&& pkt);
+  // Control band first, then the data band.
+  [[nodiscard]] std::optional<Packet> dequeue();
+
+  [[nodiscard]] std::size_t control_pkts() const { return control_.size(); }
+  [[nodiscard]] std::size_t data_pkts() const { return data_size(); }
+  [[nodiscard]] std::size_t total_pkts() const { return control_.size() + data_size(); }
+  [[nodiscard]] bool empty() const { return total_pkts() == 0; }
+  [[nodiscard]] const QueueStats& stats() const { return stats_; }
+
+ protected:
+  // Returns false if the data band dropped the packet.
+  virtual bool data_enqueue(Packet&& pkt) = 0;
+  [[nodiscard]] virtual std::optional<Packet> data_dequeue() = 0;
+  [[nodiscard]] virtual std::size_t data_size() const = 0;
+
+  // Hook for TrimmingQueue to divert a trimmed header into the control band.
+  void push_control(Packet&& pkt) { control_.push_back(std::move(pkt)); }
+  QueueStats stats_;
+
+ private:
+  std::deque<Packet> control_;
+};
+
+class DropTailQueue final : public EgressQueue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_pkts) : capacity_{capacity_pkts} {}
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ protected:
+  bool data_enqueue(Packet&& pkt) override;
+  std::optional<Packet> data_dequeue() override;
+  std::size_t data_size() const override { return fifo_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> fifo_;
+};
+
+class TrimmingQueue final : public EgressQueue {
+ public:
+  // `threshold_pkts`: data packets held before trimming kicks in (NDP uses 8).
+  explicit TrimmingQueue(std::size_t threshold_pkts) : threshold_{threshold_pkts} {}
+  [[nodiscard]] std::size_t threshold() const { return threshold_; }
+
+ protected:
+  bool data_enqueue(Packet&& pkt) override;
+  std::optional<Packet> data_dequeue() override;
+  std::size_t data_size() const override { return fifo_.size(); }
+
+ private:
+  std::size_t threshold_;
+  std::deque<Packet> fifo_;
+};
+
+// Aeolus-style selective dropping (Hu et al., APNet'18 — cited as [11]):
+// when the data band is full, blind *unscheduled* packets are sacrificed
+// first so that granted (scheduled) traffic stays lossless. An arriving
+// scheduled packet evicts the youngest queued unscheduled packet; an
+// arriving unscheduled packet is dropped outright. Combines with AMRT's
+// small-threshold discipline (Section 6) to protect the grant clock.
+class SelectiveDropQueue final : public EgressQueue {
+ public:
+  explicit SelectiveDropQueue(std::size_t capacity_pkts) : capacity_{capacity_pkts} {}
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ protected:
+  bool data_enqueue(Packet&& pkt) override;
+  std::optional<Packet> data_dequeue() override;
+  std::size_t data_size() const override { return fifo_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> fifo_;
+};
+
+class StrictPriorityQueue final : public EgressQueue {
+ public:
+  // `bands`: number of priority levels; `capacity_pkts`: shared data cap.
+  StrictPriorityQueue(std::size_t bands, std::size_t capacity_pkts);
+  [[nodiscard]] std::size_t bands() const { return bands_.size(); }
+
+ protected:
+  bool data_enqueue(Packet&& pkt) override;
+  std::optional<Packet> data_dequeue() override;
+  std::size_t data_size() const override { return size_; }
+
+ private:
+  std::vector<std::deque<Packet>> bands_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+};
+
+// Factory signature used by topology builders: experiments pick a discipline
+// per protocol. `host_nic` distinguishes end-host NICs (which need room for
+// the unscheduled first-BDP burst) from switch fabric ports.
+using QueueFactory = std::function<std::unique_ptr<EgressQueue>(bool host_nic)>;
+
+}  // namespace amrt::net

@@ -1,0 +1,38 @@
+#include "net/routing.hpp"
+
+#include <stdexcept>
+
+namespace amrt::net {
+
+std::uint64_t ecmp_hash(FlowId flow) {
+  // SplitMix64 finalizer: cheap and well distributed.
+  std::uint64_t x = flow + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void RoutingTable::add_route(NodeId dst, int port) {
+  table_[dst.value].push_back(port);
+}
+
+const std::vector<int>& RoutingTable::ports_for(NodeId dst) const {
+  auto it = table_.find(dst.value);
+  if (it == table_.end()) throw std::out_of_range("RoutingTable: unknown destination");
+  return it->second;
+}
+
+int RoutingTable::select(const Packet& pkt) {
+  const auto& ports = ports_for(pkt.dst);
+  if (ports.size() == 1) return ports.front();
+  if (mode_ == MultipathMode::kPacketSpray) {
+    // Control packets stay on the flow's hashed path so grant clocks are
+    // not reordered; only data is sprayed (as in NDP).
+    if (pkt.type == PacketType::kData) {
+      return ports[spray_counter_++ % ports.size()];
+    }
+  }
+  return ports[ecmp_hash(pkt.flow) % ports.size()];
+}
+
+}  // namespace amrt::net

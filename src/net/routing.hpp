@@ -1,0 +1,45 @@
+// Destination-based routing with ECMP.
+//
+// A switch's routing table maps destination node -> the set of egress ports
+// with equal-cost paths; a flow hash picks one so a flow stays on one path
+// (per-flow ECMP, see DESIGN.md §6 for why all protocols share this choice).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace amrt::net {
+
+// How multipath sets are used. Per-flow hashing (the default, used by every
+// experiment so all protocols compare on equal routing) keeps a flow on one
+// path; per-packet spraying (what real NDP deploys) round-robins every
+// packet across the set, trading reordering for perfect load balance.
+enum class MultipathMode : std::uint8_t { kPerFlowEcmp, kPacketSpray };
+
+class RoutingTable {
+ public:
+  // Registers `port` as one of the equal-cost next hops toward `dst`.
+  void add_route(NodeId dst, int port);
+
+  void set_mode(MultipathMode mode) { mode_ = mode; }
+  [[nodiscard]] MultipathMode mode() const { return mode_; }
+
+  // Picks the egress port for `pkt`; throws if the destination is unknown.
+  [[nodiscard]] int select(const Packet& pkt);
+
+  [[nodiscard]] const std::vector<int>& ports_for(NodeId dst) const;
+  [[nodiscard]] std::size_t destinations() const { return table_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::vector<int>> table_;
+  MultipathMode mode_ = MultipathMode::kPerFlowEcmp;
+  std::uint64_t spray_counter_ = 0;  // deterministic round-robin state
+};
+
+// The ECMP hash: deterministic, spreads consecutive flow ids across paths.
+[[nodiscard]] std::uint64_t ecmp_hash(FlowId flow);
+
+}  // namespace amrt::net

@@ -1,0 +1,18 @@
+#include "net/switch.hpp"
+
+namespace amrt::net {
+
+Switch::Switch(sim::Scheduler& sched, NodeId id, std::string name)
+    : Node{id, std::move(name)}, sched_{sched} {}
+
+int Switch::add_port(EgressPort::Config cfg, std::unique_ptr<EgressQueue> queue) {
+  ports_.push_back(std::make_unique<EgressPort>(sched_, std::move(cfg), std::move(queue)));
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void Switch::handle_packet(Packet&& pkt, int /*ingress_port*/) {
+  const int out = routes_.select(pkt);
+  ports_[out]->enqueue(std::move(pkt));
+}
+
+}  // namespace amrt::net

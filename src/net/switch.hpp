@@ -1,0 +1,41 @@
+// Output-queued switch.
+//
+// Forwarding is instantaneous (modern datacenter switching latency is
+// negligible next to 100µs link propagation); all contention happens in the
+// egress queues.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/port.hpp"
+#include "net/routing.hpp"
+#include "sim/scheduler.hpp"
+
+namespace amrt::net {
+
+class Switch final : public Node {
+ public:
+  Switch(sim::Scheduler& sched, NodeId id, std::string name);
+
+  // Adds an egress port; returns its index (also used as the peer's view of
+  // our ingress for symmetric cabling, though ingress is uncontended here).
+  int add_port(EgressPort::Config cfg, std::unique_ptr<EgressQueue> queue);
+
+  [[nodiscard]] EgressPort& port(int idx) { return *ports_.at(idx); }
+  [[nodiscard]] const EgressPort& port(int idx) const { return *ports_.at(idx); }
+  [[nodiscard]] int port_count() const { return static_cast<int>(ports_.size()); }
+
+  [[nodiscard]] RoutingTable& routes() { return routes_; }
+  [[nodiscard]] const RoutingTable& routes() const { return routes_; }
+
+  void handle_packet(Packet&& pkt, int ingress_port) override;
+
+ private:
+  sim::Scheduler& sched_;
+  std::vector<std::unique_ptr<EgressPort>> ports_;
+  RoutingTable routes_;
+};
+
+}  // namespace amrt::net

@@ -1,0 +1,130 @@
+#include "net/topology.hpp"
+
+#include <stdexcept>
+
+namespace amrt::net {
+
+Host& Network::add_host(const std::string& name, sim::Bandwidth rate, sim::Duration delay,
+                        std::unique_ptr<EgressQueue> nic_queue) {
+  EgressPort::Config cfg{rate, delay, name + ".nic"};
+  // Host stacks carry timing noise of a fraction of a packet time; see the
+  // Config::tx_jitter comment for why the simulation needs it too.
+  cfg.tx_jitter = rate.tx_time(kMtuBytes) / 8;
+  cfg.jitter_seed = 0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(next_id_) << 17);
+  hosts_.push_back(std::make_unique<Host>(sched_, next_id(), name, std::move(cfg), std::move(nic_queue)));
+  return *hosts_.back();
+}
+
+Switch& Network::add_switch(const std::string& name) {
+  switches_.push_back(std::make_unique<Switch>(sched_, next_id(), name));
+  return *switches_.back();
+}
+
+EgressPort& Network::add_switch_port(Switch& from, Node& to, sim::Bandwidth rate,
+                                     sim::Duration delay, std::unique_ptr<EgressQueue> queue,
+                                     std::unique_ptr<DequeueMarker> marker) {
+  EgressPort::Config cfg{rate, delay, from.name() + "->" + to.name()};
+  const int idx = from.add_port(std::move(cfg), std::move(queue));
+  auto& port = from.port(idx);
+  port.connect(to, 0);
+  if (marker) port.add_marker(std::move(marker));
+  return port;
+}
+
+int Network::attach_host(Host& host, Switch& sw, std::unique_ptr<EgressQueue> down_queue,
+                         std::unique_ptr<DequeueMarker> down_marker) {
+  const auto rate = host.nic().config().rate;
+  const auto delay = host.nic().config().delay;
+  host.nic().connect(sw, sw.port_count());
+  EgressPort::Config cfg{rate, delay, sw.name() + "->" + host.name()};
+  const int idx = sw.add_port(std::move(cfg), std::move(down_queue));
+  auto& port = sw.port(idx);
+  port.connect(host, 0);
+  if (down_marker) port.add_marker(std::move(down_marker));
+  return idx;
+}
+
+sim::Duration path_base_rtt(int hops, sim::Bandwidth rate, sim::Duration link_delay) {
+  // Data direction: `hops` serializations of an MTU packet + propagation.
+  // Control direction: `hops` serializations of a 64B grant + propagation.
+  const auto data_way = rate.tx_time(kMtuBytes) * hops + link_delay * hops;
+  const auto ctrl_way = rate.tx_time(kCtrlBytes) * hops + link_delay * hops;
+  return data_way + ctrl_way;
+}
+
+LeafSpine build_leaf_spine(Network& net, const LeafSpineConfig& cfg) {
+  if (!cfg.queue_factory) throw std::invalid_argument("LeafSpineConfig.queue_factory is required");
+  LeafSpine out;
+
+  auto make_marker = [&]() -> std::unique_ptr<DequeueMarker> {
+    return cfg.marker_factory ? cfg.marker_factory() : nullptr;
+  };
+
+  for (int l = 0; l < cfg.leaves; ++l) {
+    out.leaves.push_back(&net.add_switch("leaf" + std::to_string(l)));
+  }
+  for (int s = 0; s < cfg.spines; ++s) {
+    out.spines.push_back(&net.add_switch("spine" + std::to_string(s)));
+  }
+
+  out.leaf_down.resize(cfg.leaves);
+  out.leaf_up.resize(cfg.leaves);
+  out.spine_down.resize(cfg.spines, std::vector<int>(cfg.leaves, -1));
+
+  // Hosts under each leaf.
+  for (int l = 0; l < cfg.leaves; ++l) {
+    for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
+      auto& host = net.add_host("h" + std::to_string(l) + "_" + std::to_string(h), cfg.link_rate,
+                                cfg.link_delay,
+                                std::make_unique<DropTailQueue>(cfg.host_nic_queue_pkts));
+      const int down = net.attach_host(host, *out.leaves[l], cfg.queue_factory(false), make_marker());
+      out.hosts.push_back(&host);
+      out.leaf_down[l].push_back(down);
+      out.leaves[l]->routes().add_route(host.id(), down);
+    }
+  }
+
+  // Leaf <-> spine fabric.
+  for (int l = 0; l < cfg.leaves; ++l) {
+    for (int s = 0; s < cfg.spines; ++s) {
+      auto& up = net.add_switch_port(*out.leaves[l], *out.spines[s], cfg.link_rate, cfg.link_delay,
+                                     cfg.queue_factory(false), make_marker());
+      static_cast<void>(up);
+      out.leaf_up[l].push_back(out.leaves[l]->port_count() - 1);
+      auto& down = net.add_switch_port(*out.spines[s], *out.leaves[l], cfg.link_rate, cfg.link_delay,
+                                       cfg.queue_factory(false), make_marker());
+      static_cast<void>(down);
+      out.spine_down[s][l] = out.spines[s]->port_count() - 1;
+    }
+  }
+
+  // Routing: leaves send remote traffic up any spine (ECMP); spines know
+  // which leaf owns each host.
+  for (int l = 0; l < cfg.leaves; ++l) {
+    for (int other = 0; other < cfg.leaves; ++other) {
+      if (other == l) continue;
+      for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
+        const NodeId dst = out.hosts[static_cast<std::size_t>(other) * cfg.hosts_per_leaf + h]->id();
+        for (int s = 0; s < cfg.spines; ++s) {
+          out.leaves[l]->routes().add_route(dst, out.leaf_up[l][s]);
+        }
+      }
+    }
+  }
+  for (int s = 0; s < cfg.spines; ++s) {
+    for (int l = 0; l < cfg.leaves; ++l) {
+      for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
+        const NodeId dst = out.hosts[static_cast<std::size_t>(l) * cfg.hosts_per_leaf + h]->id();
+        out.spines[s]->routes().add_route(dst, out.spine_down[s][l]);
+      }
+    }
+  }
+
+  for (auto* leaf : out.leaves) leaf->routes().set_mode(cfg.multipath);
+  for (auto* spine : out.spines) spine->routes().set_mode(cfg.multipath);
+
+  out.base_rtt = path_base_rtt(4, cfg.link_rate, cfg.link_delay);
+  return out;
+}
+
+}  // namespace amrt::net

@@ -1,0 +1,97 @@
+// Network container and canonical topologies.
+//
+// `Network` owns every node and hands out stable references; builders wire
+// ports, cabling and routing tables. The leaf-spine fabric (Section 8.1's
+// evaluation topology) lives here; the small fixed scenarios from the
+// motivation/testbed figures are assembled in harness/scenarios.cpp from the
+// same primitives.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/marker.hpp"
+#include "net/queue.hpp"
+#include "net/switch.hpp"
+#include "sim/scheduler.hpp"
+
+namespace amrt::net {
+
+class Network {
+ public:
+  explicit Network(sim::Scheduler& sched) : sched_{sched} {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Creates a host whose NIC transmits at `rate` with `delay` to its switch.
+  Host& add_host(const std::string& name, sim::Bandwidth rate, sim::Duration delay,
+                 std::unique_ptr<EgressQueue> nic_queue);
+  Switch& add_switch(const std::string& name);
+
+  // Adds an egress port on `from` toward `to` (one direction of a cable).
+  // Optionally installs a dequeue marker (AMRT's anti-ECN marker).
+  EgressPort& add_switch_port(Switch& from, Node& to, sim::Bandwidth rate, sim::Duration delay,
+                              std::unique_ptr<EgressQueue> queue,
+                              std::unique_ptr<DequeueMarker> marker = nullptr);
+
+  // Connects a host's NIC to a switch and the switch back to the host.
+  // Returns the switch-side port index (the host downlink).
+  int attach_host(Host& host, Switch& sw, std::unique_ptr<EgressQueue> down_queue,
+                  std::unique_ptr<DequeueMarker> down_marker = nullptr);
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] std::vector<std::unique_ptr<Host>>& hosts() { return hosts_; }
+  [[nodiscard]] std::vector<std::unique_ptr<Switch>>& switches() { return switches_; }
+  [[nodiscard]] Host& host(std::size_t i) { return *hosts_.at(i); }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+ private:
+  [[nodiscard]] NodeId next_id() { return NodeId{next_id_++}; }
+
+  sim::Scheduler& sched_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::uint32_t next_id_ = 0;
+};
+
+// Section 8.1 fabric: `leaves` ToR switches, `spines` core switches,
+// `hosts_per_leaf` hosts per ToR, every link at `link_rate` with
+// `link_delay` propagation, ECMP across all spines.
+struct LeafSpineConfig {
+  int leaves = 10;
+  int spines = 8;
+  int hosts_per_leaf = 40;
+  sim::Bandwidth link_rate = sim::Bandwidth::gbps(10);
+  sim::Duration link_delay = sim::Duration::microseconds(100);
+  QueueFactory queue_factory;           // discipline per port (per protocol)
+  MarkerFactory marker_factory;         // optional; applied to switch egress ports
+  std::size_t host_nic_queue_pkts = 8192;  // room for the unscheduled burst
+  MultipathMode multipath = MultipathMode::kPerFlowEcmp;
+};
+
+struct LeafSpine {
+  std::vector<Host*> hosts;          // leaf-major order: hosts[l * hosts_per_leaf + h]
+  std::vector<Switch*> leaves;
+  std::vector<Switch*> spines;
+  // Port indices for monitoring.
+  std::vector<std::vector<int>> leaf_down;  // leaf_down[l][h]: leaf l -> its h-th host
+  std::vector<std::vector<int>> leaf_up;    // leaf_up[l][s]:   leaf l -> spine s
+  std::vector<std::vector<int>> spine_down; // spine_down[s][l]: spine s -> leaf l
+
+  // The base one-way path: host->leaf(->spine->leaf)->host has 4 links; the
+  // minimum RTT (no queueing, MTU-sized data + 64B grant) is derived by the
+  // builder and used by transports for BDP and timeout settings.
+  sim::Duration base_rtt = sim::Duration::zero();
+};
+
+[[nodiscard]] LeafSpine build_leaf_spine(Network& net, const LeafSpineConfig& cfg);
+
+// Minimum RTT over an `hops`-link one-way path at `rate`: a full data packet
+// out, a control packet back, plus propagation both ways. Store-and-forward
+// re-serializes at every hop.
+[[nodiscard]] sim::Duration path_base_rtt(int hops, sim::Bandwidth rate, sim::Duration link_delay);
+
+}  // namespace amrt::net

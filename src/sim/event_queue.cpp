@@ -1,0 +1,60 @@
+#include "sim/event_queue.hpp"
+
+namespace amrt::sim {
+
+bool EventQueue::Compare::operator()(const std::shared_ptr<EventRecord>& a,
+                                     const std::shared_ptr<EventRecord>& b) const {
+  if (a->when != b->when) return a->when > b->when;  // min-heap on time
+  return a->seq > b->seq;                            // FIFO among equal times
+}
+
+void EventQueue::Handle::cancel() {
+  if (auto rec = rec_.lock(); rec && !rec->fired && !rec->cancelled) {
+    rec->cancelled = true;
+    rec->cb = nullptr;  // release captured state eagerly
+    if (auto live = rec->live_count.lock()) --*live;
+  }
+}
+
+bool EventQueue::Handle::pending() const {
+  auto rec = rec_.lock();
+  return rec && !rec->fired && !rec->cancelled;
+}
+
+EventQueue::Handle EventQueue::push(TimePoint when, Callback cb) {
+  auto rec = std::make_shared<EventRecord>();
+  rec->when = when;
+  rec->seq = next_seq_++;
+  rec->cb = std::move(cb);
+  rec->live_count = live_;
+  Handle h{rec};
+  heap_.push(std::move(rec));
+  ++*live_;
+  return h;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const { return *live_ == 0; }
+
+std::size_t EventQueue::size() const { return heap_.size(); }
+
+std::optional<TimePoint> EventQueue::next_time() {
+  drop_cancelled();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top()->when;
+}
+
+std::optional<EventQueue::Ready> EventQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) return std::nullopt;
+  auto rec = heap_.top();
+  heap_.pop();
+  rec->fired = true;
+  --*live_;
+  return Ready{rec->when, std::move(rec->cb)};
+}
+
+}  // namespace amrt::sim

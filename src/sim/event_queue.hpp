@@ -1,0 +1,76 @@
+// Cancellable future-event set for the discrete-event engine.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), which makes every simulation in
+// this repository deterministic for a fixed seed.
+//
+// Cancellation is O(1) and lazy: a cancelled record stays in the heap until
+// it reaches the top and is skipped. Handles are weak: destroying a Handle
+// does not cancel the event.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace amrt::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  class Handle {
+   public:
+    Handle() = default;
+    // Cancels the event if it has not fired yet. Safe to call repeatedly.
+    void cancel();
+    [[nodiscard]] bool pending() const;
+
+   private:
+    friend class EventQueue;
+    explicit Handle(std::weak_ptr<struct EventRecord> rec) : rec_{std::move(rec)} {}
+    std::weak_ptr<struct EventRecord> rec_;
+  };
+
+  Handle push(TimePoint when, Callback cb);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const;  // includes not-yet-skipped cancelled records
+  // Timestamp of the earliest live event, if any.
+  [[nodiscard]] std::optional<TimePoint> next_time();
+
+  struct Ready {
+    TimePoint when;
+    Callback cb;
+  };
+  // Removes and returns the earliest live event.
+  [[nodiscard]] std::optional<Ready> pop();
+
+ private:
+  void drop_cancelled();
+
+  struct Compare {
+    bool operator()(const std::shared_ptr<EventRecord>& a, const std::shared_ptr<EventRecord>& b) const;
+  };
+  std::priority_queue<std::shared_ptr<EventRecord>, std::vector<std::shared_ptr<EventRecord>>, Compare> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
+};
+
+struct EventRecord {
+  TimePoint when;
+  std::uint64_t seq = 0;
+  EventQueue::Callback cb;
+  bool cancelled = false;
+  bool fired = false;
+  // Lets Handle::cancel decrement the owning queue's live count even though
+  // the handle outlives nothing else of the queue's internals.
+  std::weak_ptr<std::size_t> live_count;
+};
+
+}  // namespace amrt::sim

@@ -1,0 +1,5 @@
+#include "sim/rng.hpp"
+
+// Header-only today; this TU pins the library symbol table and is the home
+// for any future out-of-line distribution helpers.
+namespace amrt::sim {}

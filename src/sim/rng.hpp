@@ -1,0 +1,45 @@
+// Seeded random source shared by workload generation and experiments.
+//
+// A thin façade over std::mt19937_64 so every random decision in the
+// repository flows through one reproducible stream per experiment.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace amrt::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_{seed} {}
+
+  // Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+  // Exponential with the given mean (inter-arrival times of a Poisson process).
+  [[nodiscard]] double exponential(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution{p}(engine_);
+  }
+  // Uniform index in [0, n).
+  [[nodiscard]] std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+  // A derived, independent stream (for splitting one seed across components).
+  [[nodiscard]] Rng fork() { return Rng{engine_()}; }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace amrt::sim

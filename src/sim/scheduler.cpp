@@ -1,0 +1,46 @@
+#include "sim/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace amrt::sim {
+
+Scheduler::Handle Scheduler::at(TimePoint when, Callback cb) {
+  if (when < now_) throw std::logic_error("Scheduler::at: scheduling into the past");
+  return queue_.push(when, std::move(cb));
+}
+
+Scheduler::Handle Scheduler::after(Duration delay, Callback cb) {
+  if (delay < Duration::zero()) throw std::logic_error("Scheduler::after: negative delay");
+  return queue_.push(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::dispatch_next(TimePoint horizon) {
+  auto next = queue_.next_time();
+  if (!next || *next > horizon) return false;
+  auto ready = queue_.pop();
+  now_ = ready->when;
+  ++processed_;
+  ready->cb();
+  return true;
+}
+
+void Scheduler::run() {
+  stopped_ = false;
+  while (!stopped_) {
+    if (event_limit_ != 0 && processed_ >= event_limit_) break;
+    if (!dispatch_next(TimePoint::max())) break;
+  }
+}
+
+void Scheduler::run_until(TimePoint until) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (event_limit_ != 0 && processed_ >= event_limit_) break;
+    if (!dispatch_next(until)) break;
+  }
+  // stop() freezes the clock where the stopping event fired; an exhausted
+  // horizon advances it to `until`.
+  if (!stopped_ && now_ < until) now_ = until;
+}
+
+}  // namespace amrt::sim

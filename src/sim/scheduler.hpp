@@ -1,0 +1,55 @@
+// The discrete-event scheduler: virtual clock plus the event loop.
+//
+// Every component in the simulator holds a `Scheduler&` and expresses all
+// timing through `at`/`after`. Time only advances inside `run*`; callbacks
+// always observe `now()` equal to their own firing time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace amrt::sim {
+
+class Scheduler {
+ public:
+  using Callback = EventQueue::Callback;
+  using Handle = EventQueue::Handle;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  // Schedule `cb` at an absolute instant; `when` must not be in the past.
+  Handle at(TimePoint when, Callback cb);
+  // Schedule `cb` after a non-negative delay from now.
+  Handle after(Duration delay, Callback cb);
+
+  // Runs until the event set is exhausted (or stop()/limits hit).
+  void run();
+  // Runs events with timestamp <= `until`, then sets the clock to `until`.
+  void run_until(TimePoint until);
+  // Requests the current run loop to return after the in-flight callback.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  // Safety valve for runaway simulations (0 = unlimited).
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  bool dispatch_next(TimePoint horizon);
+
+  EventQueue queue_;
+  TimePoint now_ = TimePoint::zero();
+  std::uint64_t processed_ = 0;
+  std::uint64_t event_limit_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace amrt::sim

@@ -1,0 +1,44 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace amrt::sim {
+
+Duration Duration::from_seconds(double s) {
+  return Duration{static_cast<std::int64_t>(std::llround(s * 1e9))};
+}
+
+namespace {
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double a = static_cast<double>(ns < 0 ? -ns : ns);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) * 1e-9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) * 1e-6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+}  // namespace
+
+std::string Duration::str() const { return format_ns(ns_); }
+std::string TimePoint::str() const { return format_ns(ns_); }
+
+std::string Bandwidth::str() const {
+  char buf[64];
+  if (bps_ >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3gGbps", static_cast<double>(bps_) * 1e-9);
+  } else if (bps_ >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3gMbps", static_cast<double>(bps_) * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldbps", static_cast<long long>(bps_));
+  }
+  return buf;
+}
+
+}  // namespace amrt::sim

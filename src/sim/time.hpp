@@ -1,0 +1,137 @@
+// Strongly-typed simulated time.
+//
+// The whole simulator runs on an integer nanosecond clock: at the rates the
+// paper studies (1-100 Gbps) a nanosecond resolves individual bytes, and
+// integer arithmetic keeps event ordering exact and runs bit-reproducible.
+//
+// `Duration` is a signed span, `TimePoint` an absolute instant since the
+// start of the simulation. `Bandwidth` (bits/second) converts byte counts
+// into transmission durations; that conversion is the single place where the
+// simulator decides how long a packet occupies a link.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace amrt::sim {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration nanoseconds(std::int64_t ns) { return Duration{ns}; }
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) { return Duration{us * 1'000}; }
+  [[nodiscard]] static constexpr Duration milliseconds(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  [[nodiscard]] static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  // From floating seconds; rounds to the nearest nanosecond.
+  [[nodiscard]] static Duration from_seconds(double s);
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() { return Duration{INT64_MAX}; }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_micros() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+  [[nodiscard]] friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  [[nodiscard]] friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  [[nodiscard]] friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  [[nodiscard]] friend constexpr Duration operator*(std::int64_t k, Duration a) { return a * k; }
+  // Deliberately no Duration*double operator (it makes Duration*int
+  // ambiguous); use scaled() for fractional factors.
+  [[nodiscard]] Duration scaled(double k) const { return Duration::from_seconds(to_seconds() * k); }
+  [[nodiscard]] friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns_ / k}; }
+  [[nodiscard]] friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+  [[nodiscard]] friend constexpr Duration operator-(Duration a) { return Duration{-a.ns_}; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  [[nodiscard]] std::string str() const;  // human-readable, e.g. "12.3us"
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint from_ns(std::int64_t ns) { return TimePoint{ns}; }
+  [[nodiscard]] static constexpr TimePoint zero() { return TimePoint{0}; }
+  [[nodiscard]] static constexpr TimePoint max() { return TimePoint{INT64_MAX}; }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double to_micros() const { return static_cast<double>(ns_) * 1e-3; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns_) * 1e-6; }
+
+  [[nodiscard]] friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint{t.ns_ + d.ns()}; }
+  [[nodiscard]] friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  [[nodiscard]] friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint{t.ns_ - d.ns()}; }
+  [[nodiscard]] friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::nanoseconds(a.ns_ - b.ns_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+// Link speed in bits per second. Converts byte counts to wire time exactly
+// (the intermediate product fits 64 bits for any packet-sized argument).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bps(std::int64_t v) { return Bandwidth{v}; }
+  [[nodiscard]] static constexpr Bandwidth mbps(std::int64_t v) { return Bandwidth{v * 1'000'000}; }
+  [[nodiscard]] static constexpr Bandwidth gbps(std::int64_t v) { return Bandwidth{v * 1'000'000'000}; }
+
+  [[nodiscard]] constexpr std::int64_t bits_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double gbps_value() const { return static_cast<double>(bps_) * 1e-9; }
+
+  // Time to serialize `bytes` onto this link, rounded up to a whole ns.
+  [[nodiscard]] constexpr Duration tx_time(std::int64_t bytes) const {
+    const std::int64_t bits = bytes * 8;
+    // ceil(bits * 1e9 / bps) without overflow for packet-scale byte counts.
+    const __int128 num = static_cast<__int128>(bits) * 1'000'000'000;
+    const __int128 q = (num + bps_ - 1) / bps_;
+    return Duration::nanoseconds(static_cast<std::int64_t>(q));
+  }
+
+  // Bytes deliverable in `d` at this rate (floor).
+  [[nodiscard]] constexpr std::int64_t bytes_in(Duration d) const {
+    const __int128 bits = static_cast<__int128>(d.ns()) * bps_ / 1'000'000'000;
+    return static_cast<std::int64_t>(bits / 8);
+  }
+
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+  [[nodiscard]] friend constexpr Bandwidth operator*(Bandwidth b, std::int64_t k) { return Bandwidth{b.bps_ * k}; }
+  [[nodiscard]] friend constexpr Bandwidth operator/(Bandwidth b, std::int64_t k) { return Bandwidth{b.bps_ / k}; }
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  explicit constexpr Bandwidth(std::int64_t v) : bps_{v} {}
+  std::int64_t bps_ = 0;
+};
+
+namespace literals {
+[[nodiscard]] constexpr Duration operator""_ns(unsigned long long v) { return Duration::nanoseconds(static_cast<std::int64_t>(v)); }
+[[nodiscard]] constexpr Duration operator""_us(unsigned long long v) { return Duration::microseconds(static_cast<std::int64_t>(v)); }
+[[nodiscard]] constexpr Duration operator""_ms(unsigned long long v) { return Duration::milliseconds(static_cast<std::int64_t>(v)); }
+[[nodiscard]] constexpr Duration operator""_s(unsigned long long v) { return Duration::seconds(static_cast<std::int64_t>(v)); }
+[[nodiscard]] constexpr Bandwidth operator""_gbps(unsigned long long v) { return Bandwidth::gbps(static_cast<std::int64_t>(v)); }
+[[nodiscard]] constexpr Bandwidth operator""_mbps(unsigned long long v) { return Bandwidth::mbps(static_cast<std::int64_t>(v)); }
+}  // namespace literals
+
+}  // namespace amrt::sim

@@ -1,0 +1,23 @@
+#include "sim/trace.hpp"
+
+#include <cstdarg>
+
+namespace amrt::sim::trace {
+
+namespace {
+Level g_level = Level::kWarn;
+}
+
+Level level() { return g_level; }
+void set_level(Level lvl) { g_level = lvl; }
+
+void emit(Level lvl, const char* fmt, ...) {
+  if (static_cast<int>(lvl) > static_cast<int>(g_level)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace amrt::sim::trace

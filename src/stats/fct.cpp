@@ -1,0 +1,72 @@
+#include "stats/fct.hpp"
+
+#include <algorithm>
+
+#include "net/packet.hpp"
+#include "sim/trace.hpp"
+#include "stats/summary.hpp"
+
+namespace amrt::stats {
+
+void FctRecorder::on_flow_started(std::uint64_t flow, std::uint64_t bytes, sim::TimePoint at) {
+  ++started_;
+  open_[flow] = FlowRecord{flow, bytes, at, at};
+}
+
+void FctRecorder::on_flow_progress(std::uint64_t flow, std::uint64_t delta_bytes, sim::TimePoint at) {
+  bytes_delivered_ += delta_bytes;
+  if (progress_hook_) progress_hook_(flow, delta_bytes, at);
+}
+
+void FctRecorder::on_flow_completed(std::uint64_t flow, sim::TimePoint at) {
+  auto it = open_.find(flow);
+  if (it == open_.end()) {
+    AMRT_WARN("FctRecorder: completion for unknown flow %llu", static_cast<unsigned long long>(flow));
+    return;
+  }
+  it->second.end = at;
+  completed_.push_back(it->second);
+  open_.erase(it);
+}
+
+std::optional<FlowRecord> FctRecorder::record_of(std::uint64_t flow) const {
+  for (const auto& r : completed_) {
+    if (r.flow == flow) return r;
+  }
+  if (auto it = open_.find(flow); it != open_.end()) return it->second;
+  return std::nullopt;
+}
+
+FctSummary FctRecorder::summarize() const { return summarize(0, UINT64_MAX); }
+
+FctSummary FctRecorder::summarize(std::uint64_t min_bytes, std::uint64_t max_bytes) const {
+  FctSummary out;
+  out.started = started_;
+  std::vector<double> fcts;
+  double slowdown_sum = 0.0;
+  for (const auto& r : completed_) {
+    if (r.bytes < min_bytes || r.bytes >= max_bytes) continue;
+    const double fct_us = r.fct().to_micros();
+    fcts.push_back(fct_us);
+    // Ideal: serialize the flow at line rate plus one base RTT of signalling.
+    const std::uint64_t pkts = net::packets_for_bytes(r.bytes);
+    const auto wire_bytes =
+        static_cast<std::int64_t>(r.bytes) + static_cast<std::int64_t>(pkts) * net::kHeaderBytes;
+    const double ideal_us =
+        reference_rate_.tx_time(wire_bytes).to_micros() + base_rtt_.to_micros();
+    slowdown_sum += fct_us / ideal_us;
+    out.max_fct_us = std::max(out.max_fct_us, fct_us);
+  }
+  out.completed = fcts.size();
+  if (!fcts.empty()) {
+    double sum = 0.0;
+    for (double v : fcts) sum += v;
+    out.afct_us = sum / static_cast<double>(fcts.size());
+    out.p50_us = percentile(fcts, 0.50);
+    out.p99_us = percentile(fcts, 0.99);
+    out.mean_slowdown = slowdown_sum / static_cast<double>(fcts.size());
+  }
+  return out;
+}
+
+}  // namespace amrt::stats

@@ -1,0 +1,85 @@
+// Flow-completion-time accounting.
+//
+// Transports report through the FlowObserver interface; FctRecorder is the
+// standard implementation and produces the AFCT / 99th-percentile / slowdown
+// summaries that Fig. 12 plots.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace amrt::stats {
+
+struct FlowRecord {
+  std::uint64_t flow = 0;
+  std::uint64_t bytes = 0;
+  sim::TimePoint start{};
+  sim::TimePoint end{};
+  [[nodiscard]] sim::Duration fct() const { return end - start; }
+};
+
+// Implemented by metric sinks; every callback carries the virtual time.
+class FlowObserver {
+ public:
+  virtual ~FlowObserver() = default;
+  virtual void on_flow_started(std::uint64_t flow, std::uint64_t bytes, sim::TimePoint at) = 0;
+  // `delta_bytes` of new payload accepted at the receiver.
+  virtual void on_flow_progress(std::uint64_t flow, std::uint64_t delta_bytes, sim::TimePoint at) = 0;
+  virtual void on_flow_completed(std::uint64_t flow, sim::TimePoint at) = 0;
+};
+
+struct FctSummary {
+  std::size_t completed = 0;
+  std::size_t started = 0;
+  double afct_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_slowdown = 0.0;  // FCT / ideal FCT at `reference_rate`
+  double max_fct_us = 0.0;
+};
+
+class FctRecorder final : public FlowObserver {
+ public:
+  // `reference_rate`: line rate used for the ideal-FCT denominator of the
+  // slowdown metric; `base_rtt`: added to the ideal transfer time.
+  FctRecorder(sim::Bandwidth reference_rate, sim::Duration base_rtt)
+      : reference_rate_{reference_rate}, base_rtt_{base_rtt} {}
+
+  void on_flow_started(std::uint64_t flow, std::uint64_t bytes, sim::TimePoint at) override;
+  void on_flow_progress(std::uint64_t flow, std::uint64_t delta_bytes, sim::TimePoint at) override;
+  void on_flow_completed(std::uint64_t flow, sim::TimePoint at) override;
+
+  [[nodiscard]] const std::vector<FlowRecord>& completed() const { return completed_; }
+  [[nodiscard]] std::size_t started_count() const { return started_; }
+  [[nodiscard]] std::size_t incomplete_count() const { return open_.size(); }
+  [[nodiscard]] std::optional<FlowRecord> record_of(std::uint64_t flow) const;
+
+  // Summary over all completed flows, or only those with size in
+  // [min_bytes, max_bytes).
+  [[nodiscard]] FctSummary summarize() const;
+  [[nodiscard]] FctSummary summarize(std::uint64_t min_bytes, std::uint64_t max_bytes) const;
+
+  // Total payload bytes delivered (progress callbacks), for goodput checks.
+  [[nodiscard]] std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+  // Optional per-progress hook for time-series consumers.
+  using ProgressHook = std::function<void(std::uint64_t flow, std::uint64_t delta, sim::TimePoint at)>;
+  void set_progress_hook(ProgressHook hook) { progress_hook_ = std::move(hook); }
+
+ private:
+  sim::Bandwidth reference_rate_;
+  sim::Duration base_rtt_;
+  std::unordered_map<std::uint64_t, FlowRecord> open_;
+  std::vector<FlowRecord> completed_;
+  std::size_t started_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  ProgressHook progress_hook_;
+};
+
+}  // namespace amrt::stats

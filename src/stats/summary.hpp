@@ -1,0 +1,40 @@
+// Small numeric summaries: streaming moments and exact percentiles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace amrt::stats {
+
+// Streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Exact q-quantile (0 <= q <= 1) by partial sort; `xs` is taken by value on
+// purpose — callers keep their data. Returns 0 for an empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double q);
+
+// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 = perfectly fair,
+// 1/n = one flow hogging everything. Returns 0 for empty/all-zero input.
+[[nodiscard]] double jain_fairness(const std::vector<double>& xs);
+
+}  // namespace amrt::stats

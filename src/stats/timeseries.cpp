@@ -1,0 +1,43 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+
+namespace amrt::stats {
+
+void BinnedSeries::add(sim::TimePoint at, double value) {
+  const auto bin = static_cast<std::size_t>(at.ns() / width_.ns());
+  if (bin >= sums_.size()) sums_.resize(bin + 1, 0.0);
+  sums_[bin] += value;
+}
+
+std::vector<double> BinnedSeries::rates() const {
+  std::vector<double> out(sums_.size());
+  const double secs = width_.to_seconds();
+  for (std::size_t i = 0; i < sums_.size(); ++i) out[i] = sums_[i] / secs;
+  return out;
+}
+
+void FlowThroughputTracker::record(std::uint64_t flow, std::uint64_t delta_bytes, sim::TimePoint at) {
+  auto [it, inserted] = series_.try_emplace(flow, width_);
+  it->second.add(at, static_cast<double>(delta_bytes));
+}
+
+std::vector<double> FlowThroughputTracker::gbps(std::uint64_t flow) const {
+  auto it = series_.find(flow);
+  if (it == series_.end()) return {};
+  auto rates = it->second.rates();  // bytes/sec
+  for (auto& r : rates) r = r * 8.0 * 1e-9;
+  return rates;
+}
+
+std::vector<double> FlowThroughputTracker::total_gbps() const {
+  std::vector<double> out;
+  for (const auto& [flow, series] : series_) {
+    auto rates = series.rates();
+    if (rates.size() > out.size()) out.resize(rates.size(), 0.0);
+    for (std::size_t i = 0; i < rates.size(); ++i) out[i] += rates[i] * 8.0 * 1e-9;
+  }
+  return out;
+}
+
+}  // namespace amrt::stats

@@ -1,0 +1,25 @@
+#include "transport/config.hpp"
+
+#include <stdexcept>
+
+namespace amrt::transport {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kAmrt: return "AMRT";
+    case Protocol::kPhost: return "pHost";
+    case Protocol::kHoma: return "Homa";
+    case Protocol::kNdp: return "NDP";
+  }
+  return "?";
+}
+
+Protocol protocol_from_string(const std::string& name) {
+  if (name == "AMRT" || name == "amrt") return Protocol::kAmrt;
+  if (name == "pHost" || name == "phost") return Protocol::kPhost;
+  if (name == "Homa" || name == "homa") return Protocol::kHoma;
+  if (name == "NDP" || name == "ndp") return Protocol::kNdp;
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+}  // namespace amrt::transport

@@ -1,0 +1,66 @@
+// Per-endpoint transport configuration shared by all four protocols.
+//
+// A TransportConfig is constructed once per experiment (both ends of every
+// flow must agree on `unscheduled_start` and the BDP so the receiver can
+// reconstruct what the sender was allowed to send).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace amrt::transport {
+
+enum class Protocol : std::uint8_t { kAmrt, kPhost, kHoma, kNdp };
+
+[[nodiscard]] const char* to_string(Protocol p);
+[[nodiscard]] Protocol protocol_from_string(const std::string& name);
+
+struct TransportConfig {
+  sim::Bandwidth host_rate = sim::Bandwidth::gbps(10);
+  // Minimum end-to-end RTT of the topology (data out + grant back); drives
+  // the BDP window and every timeout.
+  sim::Duration base_rtt = sim::Duration::microseconds(100);
+
+  // Sec. 6: receiver-driven flows start blind with one BDP of data.
+  bool unscheduled_start = true;
+  // Fig. 14: unresponsive senders announce flows (RTS) but never send data.
+  bool responsive = true;
+
+  // Receiver-side loss detection: if a flow stalls this long with packets
+  // outstanding, re-request specific sequence numbers. Zero means "use the
+  // protocol default" (1xRTT for AMRT per Sec. 6, 3xRTT otherwise).
+  sim::Duration loss_timeout = sim::Duration::zero();
+  std::uint32_t recovery_batch = 8;  // max seqs re-requested per timeout
+
+  // Homa: number of messages granted concurrently (degree of overcommitment)
+  // and the number of switch priority levels.
+  int homa_overcommit = 2;
+  std::uint8_t homa_priority_levels = 8;
+
+  // pHost: outstanding-token window per flow, as a multiple of BDP.
+  double phost_token_window_bdp = 1.0;
+
+  // AMRT: packets triggered by a marked grant (paper: 2 — "send one more").
+  // Exposed for the ablation benches.
+  std::uint16_t amrt_marked_allowance = 2;
+
+  // --- derived quantities ---
+  [[nodiscard]] std::uint32_t bdp_packets() const {
+    const std::int64_t bytes = host_rate.bytes_in(base_rtt);
+    const auto pkts = static_cast<std::uint32_t>((bytes + net::kMtuBytes - 1) / net::kMtuBytes);
+    return pkts == 0 ? 1 : pkts;
+  }
+  [[nodiscard]] std::uint64_t bdp_payload_bytes() const {
+    return static_cast<std::uint64_t>(bdp_packets()) * net::kMssBytes;
+  }
+  [[nodiscard]] sim::Duration default_loss_timeout(Protocol p) const {
+    if (loss_timeout > sim::Duration::zero()) return loss_timeout;
+    return p == Protocol::kAmrt ? base_rtt : base_rtt * 3;
+  }
+  [[nodiscard]] sim::Duration phost_downgrade_timeout() const { return base_rtt * 3; }
+};
+
+}  // namespace amrt::transport

@@ -1,0 +1,18 @@
+#include "transport/endpoint.hpp"
+
+namespace amrt::transport {
+
+TransportEndpoint::TransportEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+                                     stats::FlowObserver* observer)
+    : sched_{sched}, host_{host}, cfg_{cfg}, observer_{observer} {}
+
+void TransportEndpoint::deliver(net::Packet&& pkt) {
+  switch (pkt.type) {
+    case net::PacketType::kData: on_data(std::move(pkt)); break;
+    case net::PacketType::kRts: on_rts(std::move(pkt)); break;
+    case net::PacketType::kGrant: on_grant(std::move(pkt)); break;
+    case net::PacketType::kDone: on_done(std::move(pkt)); break;
+  }
+}
+
+}  // namespace amrt::transport

@@ -1,0 +1,40 @@
+// Base transport endpoint: one per host, handles packet dispatch and owns
+// the config plumbing. Concrete behaviour lives in ReceiverDrivenEndpoint
+// and the per-protocol subclasses.
+#pragma once
+
+#include "net/host.hpp"
+#include "stats/fct.hpp"
+#include "transport/config.hpp"
+#include "transport/flow.hpp"
+
+namespace amrt::transport {
+
+class TransportEndpoint : public net::PacketSink {
+ public:
+  TransportEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+                    stats::FlowObserver* observer);
+
+  // Begins transmitting `spec` from this (sending) endpoint.
+  virtual void start_flow(const FlowSpec& spec) = 0;
+
+  void deliver(net::Packet&& pkt) final;
+
+  [[nodiscard]] const TransportConfig& config() const { return cfg_; }
+  [[nodiscard]] net::Host& host() { return host_; }
+
+ protected:
+  virtual void on_data(net::Packet&& pkt) = 0;
+  virtual void on_rts(net::Packet&& pkt) = 0;
+  virtual void on_grant(net::Packet&& pkt) = 0;
+  virtual void on_done(net::Packet&& pkt) = 0;
+
+  void send(net::Packet&& pkt) { host_.send(std::move(pkt)); }
+
+  sim::Scheduler& sched_;
+  net::Host& host_;
+  TransportConfig cfg_;
+  stats::FlowObserver* observer_;  // may be null
+};
+
+}  // namespace amrt::transport

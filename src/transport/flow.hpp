@@ -1,0 +1,20 @@
+// Application-level unit of work: a one-way message of `bytes` from one
+// host to another, identified by a globally unique id.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace amrt::transport {
+
+struct FlowSpec {
+  net::FlowId id = 0;
+  net::NodeId src{};
+  net::NodeId dst{};
+  std::uint64_t bytes = 0;
+  sim::TimePoint start{};  // informational; the harness schedules start_flow
+};
+
+}  // namespace amrt::transport

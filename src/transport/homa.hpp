@@ -1,0 +1,35 @@
+// Homa (Montazeri et al., SIGCOMM'18) as the AMRT paper evaluates it:
+// SRPT-ordered byte-offset grants with a configurable degree of
+// overcommitment K — the receiver keeps its K shortest incomplete messages
+// granted one BDP ahead of what it has received (Fig. 14 sweeps K).
+// Scheduled data carries a priority equal to the message's SRPT rank;
+// unscheduled data rides the highest priority, matching Homa's use of
+// in-network priority queues.
+#pragma once
+
+#include "transport/receiver_driven.hpp"
+
+namespace amrt::transport {
+
+class HomaEndpoint final : public ReceiverDrivenEndpoint {
+ public:
+  HomaEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+               stats::FlowObserver* observer)
+      : ReceiverDrivenEndpoint{sched, host, cfg, observer, Protocol::kHoma} {}
+
+ protected:
+  void after_arrival(ReceiverFlow& flow, const net::Packet& pkt, bool fresh) override;
+  std::uint32_t grant_new_credits(ReceiverFlow& flow, std::uint32_t count, bool marked) override;
+  void decorate_data(net::Packet& pkt, const SenderFlow& flow) override;
+  void handle_grant_packet(SenderFlow& flow, const net::Packet& grant) override;
+  [[nodiscard]] std::uint32_t expected_sent_pkts(const ReceiverFlow& flow) const override;
+  void recovery_nudge(ReceiverFlow& flow) override;
+
+ private:
+  // Re-evaluates the SRPT order and tops up the grant window of the top-K
+  // messages (the overcommitment mechanism).
+  void pump_grants();
+  void send_offset_grant(ReceiverFlow& flow, std::uint64_t offset, std::uint8_t priority);
+};
+
+}  // namespace amrt::transport

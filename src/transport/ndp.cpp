@@ -1,0 +1,78 @@
+#include "transport/ndp.hpp"
+
+#include <algorithm>
+
+namespace amrt::transport {
+
+using net::Packet;
+using net::PacketType;
+
+void NdpEndpoint::after_arrival(ReceiverFlow& flow, const Packet& pkt, bool fresh) {
+  (void)fresh;
+  if (pkt.type == PacketType::kRts) {
+    // With line-rate start the first window needs no pulls; without it
+    // (responsiveness experiments) bootstrap the pull clock.
+    if (flow.unscheduled_pkts == 0) enqueue_new_pull(flow);
+    return;
+  }
+  if (pkt.trimmed) {
+    // The header survived the trim: pull the payload again, ahead of new data.
+    enqueue_rtx_pull(flow, pkt.seq);
+    return;
+  }
+  enqueue_new_pull(flow);
+}
+
+void NdpEndpoint::enqueue_new_pull(ReceiverFlow& flow) {
+  auto& pending = pending_new_pulls_[flow.id];
+  if (flow.remaining_ungranted() <= pending) return;  // all remaining data already covered
+  ++pending;
+  pull_queue_.push_back(PullRequest{flow.id, -1});
+  arm_pacer();
+}
+
+void NdpEndpoint::enqueue_rtx_pull(ReceiverFlow& flow, std::uint32_t seq) {
+  // Retransmissions jump the queue: NDP prioritizes loss repair.
+  pull_queue_.push_front(PullRequest{flow.id, static_cast<std::int64_t>(seq)});
+  arm_pacer();
+}
+
+void NdpEndpoint::arm_pacer() {
+  if (pacer_armed_ || pull_queue_.empty()) return;
+  pacer_armed_ = true;
+  const auto earliest = last_pull_ + pull_spacing_;
+  const auto delay = earliest > sched_.now() ? earliest - sched_.now() : sim::Duration::zero();
+  sched_.after(delay, [this] { pacer_fire(); });
+}
+
+void NdpEndpoint::pacer_fire() {
+  pacer_armed_ = false;
+  while (!pull_queue_.empty()) {
+    const PullRequest req = pull_queue_.front();
+    pull_queue_.pop_front();
+    auto it = rcv_.find(req.flow);
+    if (it == rcv_.end()) {
+      // Flow completed while the pull waited; drop the stale request.
+      pending_new_pulls_.erase(req.flow);
+      continue;
+    }
+    ReceiverFlow& flow = it->second;
+    Packet pull = make_grant(flow);
+    if (req.rtx_seq >= 0) {
+      pull.request_seq = req.rtx_seq;
+      pull.allowance = 0;
+    } else {
+      auto& pending = pending_new_pulls_[req.flow];
+      if (pending > 0) --pending;
+      if (flow.remaining_ungranted() == 0) continue;  // raced with recovery grants
+      ++flow.granted_new;
+      pull.allowance = 1;
+    }
+    last_pull_ = sched_.now();
+    send(std::move(pull));
+    break;
+  }
+  arm_pacer();
+}
+
+}  // namespace amrt::transport

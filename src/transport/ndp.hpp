@@ -1,0 +1,47 @@
+// NDP (Handley et al., SIGCOMM'17) as the AMRT paper evaluates it:
+// senders start at line rate; overloaded switch queues trim payloads to
+// headers (TrimmingQueue) which reach the receiver in the control band; the
+// receiver paces one pull per MTU-time from a shared pull queue, pulling
+// retransmissions of trimmed packets before new data.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "transport/receiver_driven.hpp"
+
+namespace amrt::transport {
+
+class NdpEndpoint final : public ReceiverDrivenEndpoint {
+ public:
+  NdpEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+              stats::FlowObserver* observer)
+      : ReceiverDrivenEndpoint{sched, host, cfg, observer, Protocol::kNdp},
+        pull_spacing_{cfg.host_rate.tx_time(net::kMtuBytes)} {}
+
+  [[nodiscard]] std::size_t pull_queue_depth() const { return pull_queue_.size(); }
+
+ protected:
+  void after_arrival(ReceiverFlow& flow, const net::Packet& pkt, bool fresh) override;
+  bool detect_holes() const override { return false; }  // trimming names losses
+
+ private:
+  struct PullRequest {
+    net::FlowId flow = 0;
+    std::int64_t rtx_seq = -1;  // >=0: pull a retransmission of this seq
+  };
+
+  void enqueue_new_pull(ReceiverFlow& flow);
+  void enqueue_rtx_pull(ReceiverFlow& flow, std::uint32_t seq);
+  void arm_pacer();
+  void pacer_fire();
+
+  std::deque<PullRequest> pull_queue_;
+  // New-data pulls queued but not yet sent, per flow (bounds credit issue).
+  std::unordered_map<net::FlowId, std::uint32_t> pending_new_pulls_;
+  sim::Duration pull_spacing_;
+  sim::TimePoint last_pull_ = sim::TimePoint::zero();
+  bool pacer_armed_ = false;
+};
+
+}  // namespace amrt::transport

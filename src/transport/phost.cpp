@@ -1,0 +1,47 @@
+#include "transport/phost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amrt::transport {
+
+std::uint64_t PhostEndpoint::token_window() const {
+  const double w = static_cast<double>(cfg_.bdp_packets()) * cfg_.phost_token_window_bdp;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(w)));
+}
+
+std::uint64_t PhostEndpoint::outstanding(const ReceiverFlow& flow) const {
+  // Presumed-lost packets are no longer in flight; without this adjustment
+  // an early loss burst would pin the flow above its token window forever.
+  const std::uint64_t triggered = expected_sent_pkts(flow);
+  const std::uint64_t in_flight_upper =
+      triggered > flow.received_pkts ? triggered - flow.received_pkts : 0;
+  const std::uint64_t lost = presumed_lost(flow);
+  return in_flight_upper > lost ? in_flight_upper - lost : 0;
+}
+
+void PhostEndpoint::after_arrival(ReceiverFlow& flow, const net::Packet& pkt, bool fresh) {
+  (void)flow;
+  (void)fresh;
+  if (pkt.type == net::PacketType::kRts && cfg_.unscheduled_start) {
+    // The unscheduled burst is already in flight; the token clock starts
+    // with the first data arrival.
+    return;
+  }
+  assign_token();
+}
+
+void PhostEndpoint::assign_token() {
+  ReceiverFlow* best = nullptr;
+  const std::uint64_t window = token_window();
+  for (auto& [id, flow] : rcv_) {
+    if (!wants_credit(flow)) continue;
+    // Window-full flows are skipped: this is pHost's downgrade of
+    // unresponsive senders, expressed as a credit window.
+    if (outstanding(flow) >= window) continue;
+    if (best == nullptr || flow.remaining_bytes() < best->remaining_bytes()) best = &flow;
+  }
+  if (best != nullptr) issue_credits(*best, 1, /*marked=*/false);
+}
+
+}  // namespace amrt::transport

@@ -1,0 +1,32 @@
+// pHost (Gao et al., CoNEXT'15) as modelled by the AMRT paper:
+// per-packet tokens issued by the receiver, one per arriving data packet
+// (the conservative arrival clock of Section 1), assigned to the incoming
+// flow with the shortest remaining processing time. A sender that leaves a
+// full token window unanswered is implicitly downgraded — it is skipped by
+// the SRPT pick until recovery refills its window — mirroring pHost's
+// 3xRTT unresponsive-sender timeout (Section 6).
+#pragma once
+
+#include "transport/receiver_driven.hpp"
+
+namespace amrt::transport {
+
+class PhostEndpoint final : public ReceiverDrivenEndpoint {
+ public:
+  PhostEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+                stats::FlowObserver* observer)
+      : ReceiverDrivenEndpoint{sched, host, cfg, observer, Protocol::kPhost} {}
+
+ protected:
+  void after_arrival(ReceiverFlow& flow, const net::Packet& pkt, bool fresh) override;
+
+ private:
+  // One token of downlink capacity became available: hand it to the
+  // SRPT-best eligible flow (possibly a different one than `just_arrived`).
+  void assign_token();
+
+  [[nodiscard]] std::uint64_t token_window() const;
+  [[nodiscard]] std::uint64_t outstanding(const ReceiverFlow& flow) const;
+};
+
+}  // namespace amrt::transport

@@ -1,0 +1,326 @@
+#include "transport/receiver_driven.hpp"
+
+#include <algorithm>
+
+#include "sim/trace.hpp"
+
+namespace amrt::transport {
+
+using net::Packet;
+using net::PacketType;
+
+ReceiverDrivenEndpoint::ReceiverDrivenEndpoint(sim::Scheduler& sched, net::Host& host,
+                                               TransportConfig cfg, stats::FlowObserver* observer,
+                                               Protocol proto)
+    : TransportEndpoint{sched, host, cfg, observer},
+      proto_{proto},
+      rto_{cfg.default_loss_timeout(proto)} {}
+
+// ---------------------------------------------------------------------------
+// Sender side
+// ---------------------------------------------------------------------------
+
+void ReceiverDrivenEndpoint::start_flow(const FlowSpec& spec) {
+  const std::uint32_t total = net::packets_for_bytes(spec.bytes);
+  if (total == 0) {
+    AMRT_WARN("start_flow: empty flow %llu ignored", static_cast<unsigned long long>(spec.id));
+    return;
+  }
+  auto [it, inserted] = snd_.try_emplace(spec.id);
+  if (!inserted) {
+    AMRT_WARN("start_flow: duplicate flow id %llu", static_cast<unsigned long long>(spec.id));
+    return;
+  }
+  SenderFlow& flow = it->second;
+  flow.spec = spec;
+  flow.total_pkts = total;
+
+  if (observer_ != nullptr) observer_->on_flow_started(spec.id, spec.bytes, sched_.now());
+
+  // Announce the flow so the receiver can schedule it (pHost RTS, Homa's
+  // message header, NDP's first-window header all play this role).
+  Packet rts;
+  rts.flow = spec.id;
+  rts.type = PacketType::kRts;
+  rts.wire_bytes = net::kCtrlBytes;
+  rts.src = host_.id();
+  rts.dst = spec.dst;
+  rts.flow_bytes = spec.bytes;
+  rts.created = sched_.now();
+  send(std::move(rts));
+
+  if (cfg_.responsive && cfg_.unscheduled_start) {
+    const auto window = std::min<std::uint32_t>(cfg_.bdp_packets(), total);
+    send_new_packets(flow, window);
+  }
+}
+
+void ReceiverDrivenEndpoint::send_new_packets(SenderFlow& flow, std::uint32_t count) {
+  while (count > 0 && flow.next_new_seq < flow.total_pkts) {
+    send_data_seq(flow, flow.next_new_seq);
+    ++flow.next_new_seq;
+    --count;
+  }
+}
+
+void ReceiverDrivenEndpoint::send_data_seq(SenderFlow& flow, std::uint32_t seq) {
+  Packet pkt;
+  pkt.flow = flow.spec.id;
+  pkt.seq = seq;
+  // Blind first-window packets are tagged so Aeolus-style queues can prefer
+  // dropping them over scheduled (granted) traffic.
+  pkt.unscheduled =
+      cfg_.unscheduled_start && seq < std::min<std::uint32_t>(cfg_.bdp_packets(), flow.total_pkts);
+  pkt.type = PacketType::kData;
+  pkt.payload_bytes = net::payload_of_seq(flow.spec.bytes, seq);
+  pkt.wire_bytes = pkt.payload_bytes + net::kHeaderBytes;
+  pkt.src = host_.id();
+  pkt.dst = flow.spec.dst;
+  pkt.flow_bytes = flow.spec.bytes;
+  pkt.created = sched_.now();
+  decorate_data(pkt, flow);
+  ++flow.packets_sent;
+  send(std::move(pkt));
+}
+
+void ReceiverDrivenEndpoint::handle_grant_packet(SenderFlow& flow, const Packet& grant) {
+  if (grant.request_seq >= 0) {
+    if (grant.request_seq < flow.total_pkts) {
+      send_data_seq(flow, static_cast<std::uint32_t>(grant.request_seq));
+    }
+    return;
+  }
+  send_new_packets(flow, grant.allowance);
+}
+
+void ReceiverDrivenEndpoint::on_grant(Packet&& pkt) {
+  auto it = snd_.find(pkt.flow);
+  if (it == snd_.end()) return;  // flow already torn down
+  if (!cfg_.responsive) return;  // Fig. 14: unresponsive senders ignore credit
+  it->second.sched_priority = pkt.priority;
+  handle_grant_packet(it->second, pkt);
+}
+
+void ReceiverDrivenEndpoint::on_done(Packet&& pkt) { snd_.erase(pkt.flow); }
+
+// ---------------------------------------------------------------------------
+// Receiver side
+// ---------------------------------------------------------------------------
+
+ReceiverDrivenEndpoint::ReceiverFlow* ReceiverDrivenEndpoint::ensure_registered(const Packet& pkt) {
+  if (finished_rcv_.contains(pkt.flow)) return nullptr;
+  auto [it, inserted] = rcv_.try_emplace(pkt.flow);
+  ReceiverFlow& flow = it->second;
+  if (inserted) {
+    flow.id = pkt.flow;
+    flow.src = pkt.src;
+    flow.bytes = pkt.flow_bytes;
+    flow.total_pkts = net::packets_for_bytes(pkt.flow_bytes);
+    flow.unscheduled_pkts =
+        cfg_.unscheduled_start ? std::min<std::uint32_t>(cfg_.bdp_packets(), flow.total_pkts) : 0;
+    flow.granted_bytes =
+        static_cast<std::uint64_t>(flow.unscheduled_pkts) * net::kMssBytes;
+    flow.got.assign(flow.total_pkts, false);
+    flow.first_seen = sched_.now();
+    flow.last_arrival = sched_.now();
+    arm_recovery(flow, rto_);
+  }
+  return &flow;
+}
+
+net::Packet ReceiverDrivenEndpoint::make_grant(const ReceiverFlow& flow) const {
+  Packet grant;
+  grant.flow = flow.id;
+  grant.type = PacketType::kGrant;
+  grant.wire_bytes = net::kCtrlBytes;
+  grant.src = host_.id();
+  grant.dst = flow.src;
+  grant.created = sched_.now();
+  return grant;
+}
+
+std::uint32_t ReceiverDrivenEndpoint::grant_new(ReceiverFlow& flow, std::uint32_t count, bool marked) {
+  const auto remaining = flow.remaining_ungranted();
+  const auto credits = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(count, remaining));
+  if (credits == 0) return 0;
+  flow.granted_new += credits;
+  Packet grant = make_grant(flow);
+  grant.allowance = static_cast<std::uint16_t>(credits);
+  grant.marked_grant = marked;
+  send(std::move(grant));
+  return credits;
+}
+
+void ReceiverDrivenEndpoint::on_data(Packet&& pkt) {
+  ReceiverFlow* flow = ensure_registered(pkt);
+  if (flow == nullptr) return;  // stale retransmission of a finished flow
+  flow->last_arrival = sched_.now();
+
+  bool fresh = false;
+  if (pkt.seq < flow->total_pkts) {
+    if (pkt.seq > flow->max_seen) flow->max_seen = pkt.seq;
+    if (!pkt.trimmed && !flow->got[pkt.seq]) {
+      flow->got[pkt.seq] = true;
+      ++flow->received_pkts;
+      flow->received_bytes += pkt.payload_bytes;
+      fresh = true;
+      if (observer_ != nullptr) {
+        observer_->on_flow_progress(flow->id, pkt.payload_bytes, sched_.now());
+      }
+    }
+  }
+  if (detect_holes()) detect_losses(*flow);
+
+  after_arrival(*flow, pkt, fresh);
+
+  if (flow->complete()) finish_receive(*flow);
+}
+
+// A sequence hole more than kReorderSlack behind the highest seq seen is a
+// presumed drop (per-flow ECMP keeps paths in order; only losses make holes).
+void ReceiverDrivenEndpoint::detect_losses(ReceiverFlow& flow) {
+  constexpr std::uint32_t kReorderSlack = 2;
+  const std::uint32_t horizon = flow.max_seen > kReorderSlack ? flow.max_seen - kReorderSlack : 0;
+  for (std::uint32_t seq = flow.detect_cursor; seq < horizon; ++seq) {
+    if (!flow.got[seq] && !flow.repair_set.contains(seq)) {
+      // Fresh detections are immediately eligible and jump the queue.
+      flow.repair_q.push_front(RepairEntry{seq, sched_.now()});
+      flow.repair_set.insert(seq);
+    }
+  }
+  flow.detect_cursor = std::max(flow.detect_cursor, horizon);
+}
+
+std::optional<std::uint32_t> ReceiverDrivenEndpoint::pop_due_repair(ReceiverFlow& flow) {
+  while (!flow.repair_q.empty()) {
+    const RepairEntry e = flow.repair_q.front();
+    if (flow.got[e.seq]) {  // repaired in the meantime
+      flow.repair_q.pop_front();
+      flow.repair_set.erase(e.seq);
+      continue;
+    }
+    if (e.eligible_at > sched_.now()) return std::nullopt;  // retry window still open
+    flow.repair_q.pop_front();
+    // Leave it in the set and re-queue for another try in case the
+    // retransmission is lost too.
+    flow.repair_q.push_back(RepairEntry{e.seq, sched_.now() + rto_});
+    return e.seq;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t ReceiverDrivenEndpoint::grant_new_credits(ReceiverFlow& flow, std::uint32_t count,
+                                                        bool marked) {
+  return grant_new(flow, count, marked);
+}
+
+std::uint32_t ReceiverDrivenEndpoint::issue_credits(ReceiverFlow& flow, std::uint32_t count,
+                                                    bool marked) {
+  // New data first: while the flow has ungranted packets, a lost packet's
+  // credit is simply gone — the circulation (and thus the rate) shrinks,
+  // exactly the conservative behaviour the paper ascribes to receiver-driven
+  // designs. Only once the grant clock has nothing new to trigger do
+  // arrivals start pulling retransmissions of the presumed-lost packets.
+  std::uint32_t issued = grant_new_credits(flow, count, marked);
+  while (issued < count) {
+    const auto repair = pop_due_repair(flow);
+    if (!repair) break;
+    Packet grant = make_grant(flow);
+    grant.request_seq = static_cast<std::int64_t>(*repair);
+    grant.allowance = 0;
+    send(std::move(grant));
+    ++issued;
+  }
+  return issued;
+}
+
+bool ReceiverDrivenEndpoint::wants_credit(ReceiverFlow& flow) {
+  if (flow.remaining_ungranted() > 0) return true;
+  // Peek for a due repair without consuming it.
+  while (!flow.repair_q.empty() && flow.got[flow.repair_q.front().seq]) {
+    flow.repair_set.erase(flow.repair_q.front().seq);
+    flow.repair_q.pop_front();
+  }
+  return !flow.repair_q.empty() && flow.repair_q.front().eligible_at <= sched_.now();
+}
+
+void ReceiverDrivenEndpoint::on_rts(Packet&& pkt) {
+  ReceiverFlow* flow = ensure_registered(pkt);
+  if (flow == nullptr) return;
+  // An RTS is an announcement, not an arrival: it must not reset the
+  // stall detector, or unresponsive senders would never look stalled.
+  after_arrival(*flow, pkt, false);
+}
+
+void ReceiverDrivenEndpoint::finish_receive(ReceiverFlow& flow) {
+  flow.recovery_timer.cancel();
+  Packet done = make_grant(flow);
+  done.type = PacketType::kDone;
+  send(std::move(done));
+  if (observer_ != nullptr) observer_->on_flow_completed(flow.id, sched_.now());
+  finished_rcv_.insert(flow.id);
+  rcv_.erase(flow.id);
+}
+
+// ---------------------------------------------------------------------------
+// Loss recovery (Sec. 6: the receiver reissues grants for packets that fail
+// to arrive within a timeout of being triggered).
+// ---------------------------------------------------------------------------
+
+std::uint32_t ReceiverDrivenEndpoint::expected_sent_pkts(const ReceiverFlow& flow) const {
+  const std::uint64_t n = static_cast<std::uint64_t>(flow.unscheduled_pkts) + flow.granted_new;
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(n, flow.total_pkts));
+}
+
+void ReceiverDrivenEndpoint::recovery_nudge(ReceiverFlow& flow) {
+  grant_new(flow, cfg_.recovery_batch, /*marked=*/false);
+}
+
+void ReceiverDrivenEndpoint::arm_recovery(ReceiverFlow& flow, sim::Duration delay) {
+  flow.recovery_timer = sched_.after(delay, [this, id = flow.id] { recovery_fire(id); });
+}
+
+// The liveness backstop (Sec. 6's timeout). Losses during an active flow
+// are repaired in-band by issue_credits; this timer only acts when the flow
+// has gone completely silent for an RTO — then the arrival clock is dead
+// and nothing in-band can restart it. It re-requests missing packets
+// directly (including tail losses the hole detector cannot see) and, if
+// nothing is missing, pushes the grant clock with fresh credits.
+void ReceiverDrivenEndpoint::recovery_fire(net::FlowId id) {
+  auto it = rcv_.find(id);
+  if (it == rcv_.end()) return;
+  ReceiverFlow& flow = it->second;
+
+  const auto idle = sched_.now() - flow.last_arrival;
+  if (idle < rto_) {
+    flow.stall_backoff = 1;  // the flow is alive again
+    arm_recovery(flow, rto_ - idle);
+    return;
+  }
+
+  const std::uint32_t horizon = expected_sent_pkts(flow);
+  std::uint32_t requested = 0;
+  for (std::uint32_t seq = flow.scan_cursor; seq < horizon && requested < cfg_.recovery_batch;
+       ++seq) {
+    if (flow.got[seq]) {
+      if (seq == flow.scan_cursor) ++flow.scan_cursor;  // advance past the received prefix
+      continue;
+    }
+    Packet grant = make_grant(flow);
+    grant.request_seq = seq;
+    grant.allowance = 0;
+    send(std::move(grant));
+    ++requested;
+  }
+  if (requested == 0 && flow.remaining_ungranted() > 0) {
+    recovery_nudge(flow);
+  }
+  // Exponential backoff while the flow stays silent: with many flows
+  // timing out in lockstep (incast), fixed-interval retries re-overload
+  // the queue that dropped them in the first place.
+  arm_recovery(flow, rto_ * flow.stall_backoff);
+  flow.stall_backoff = std::min<std::uint32_t>(flow.stall_backoff * 2, 8);
+}
+
+}  // namespace amrt::transport

@@ -1,0 +1,149 @@
+// Shared machinery of receiver-driven transports (Sections 3-4 of the paper
+// describe this skeleton; pHost/Homa/NDP/AMRT differ only in their granting
+// policies, which subclasses supply through the hooks below).
+//
+// Sender side: a flow starts with an RTS announcement and (if enabled) an
+// unscheduled burst of one BDP at line rate; afterwards data moves only when
+// the receiver grants it. Receiver side: arrivals are tracked per flow, each
+// arrival is handed to the protocol's `after_arrival` hook (the grant clock),
+// and a per-flow timeout re-requests specific lost sequence numbers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "transport/endpoint.hpp"
+
+namespace amrt::transport {
+
+class ReceiverDrivenEndpoint : public TransportEndpoint {
+ public:
+  ReceiverDrivenEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+                         stats::FlowObserver* observer, Protocol proto);
+
+  void start_flow(const FlowSpec& spec) override;
+
+  // --- introspection (tests/monitors) ---
+  [[nodiscard]] std::size_t open_sender_flows() const { return snd_.size(); }
+  [[nodiscard]] std::size_t open_receiver_flows() const { return rcv_.size(); }
+  [[nodiscard]] Protocol protocol() const { return proto_; }
+
+ protected:
+  struct SenderFlow {
+    FlowSpec spec;
+    std::uint32_t total_pkts = 0;
+    std::uint32_t next_new_seq = 0;   // next never-sent sequence number
+    std::uint8_t sched_priority = 0;  // Homa: priority carried by granted data
+    std::uint64_t packets_sent = 0;   // includes retransmissions
+  };
+
+  // A sequence number presumed lost: requested again when `eligible_at`
+  // passes (so a retransmission gets a full timeout before the next try).
+  struct RepairEntry {
+    std::uint32_t seq = 0;
+    sim::TimePoint eligible_at{};
+  };
+
+  struct ReceiverFlow {
+    net::FlowId id = 0;
+    net::NodeId src{};
+    std::uint64_t bytes = 0;
+    std::uint32_t total_pkts = 0;
+    std::uint32_t unscheduled_pkts = 0;  // what the sender was allowed to blast
+    std::vector<bool> got;
+    std::uint32_t received_pkts = 0;
+    std::uint64_t received_bytes = 0;
+    std::uint64_t granted_new = 0;    // new-packet credits issued beyond unscheduled
+    std::uint64_t granted_bytes = 0;  // Homa's byte-offset bookkeeping
+    sim::TimePoint first_seen{};
+    sim::TimePoint last_arrival{};
+    sim::Scheduler::Handle recovery_timer{};
+    std::uint32_t scan_cursor = 0;    // lowest possibly-missing seq (stall-scan state)
+    std::uint32_t stall_backoff = 1;  // doubles per silent stall tick (bounds incast storms)
+    std::uint32_t max_seen = 0;       // highest data seq observed
+    std::uint32_t detect_cursor = 0;  // seqs below this are received or in the repair set
+    std::deque<RepairEntry> repair_q;
+    std::unordered_set<std::uint32_t> repair_set;
+
+    [[nodiscard]] std::uint64_t remaining_ungranted() const {
+      const std::uint64_t base = static_cast<std::uint64_t>(unscheduled_pkts) + granted_new;
+      return base >= total_pkts ? 0 : total_pkts - base;
+    }
+    [[nodiscard]] std::uint64_t remaining_bytes() const { return bytes - received_bytes; }
+    [[nodiscard]] bool complete() const { return received_pkts == total_pkts; }
+  };
+
+  // --- protocol hooks -----------------------------------------------------
+  // The grant clock: called on every arrival at the receiver. `fresh` is
+  // true when the packet delivered new payload (false for duplicates, RTS
+  // announcements and trimmed headers).
+  virtual void after_arrival(ReceiverFlow& flow, const net::Packet& pkt, bool fresh) = 0;
+  // Stamp protocol-specific header bits onto outgoing data.
+  virtual void decorate_data(net::Packet& pkt, const SenderFlow& flow) { (void)pkt; (void)flow; }
+  // Sender's reaction to a grant. Default: retransmit `request_seq` if set,
+  // else send `allowance` new packets.
+  virtual void handle_grant_packet(SenderFlow& flow, const net::Packet& grant);
+  // Highest sequence number (exclusive) the receiver may assume was sent.
+  [[nodiscard]] virtual std::uint32_t expected_sent_pkts(const ReceiverFlow& flow) const;
+  // Timeout found the flow stalled with nothing missing below the expected
+  // horizon: push the grant clock forward. Default issues a small batch of
+  // allowance-1 grants.
+  virtual void recovery_nudge(ReceiverFlow& flow);
+  // Whether sequence holes imply drops. NDP turns this off: its trimmed
+  // headers name lost packets explicitly, so hole-based repair would only
+  // duplicate the rtx pulls.
+  [[nodiscard]] virtual bool detect_holes() const { return true; }
+
+  // --- sender-side helpers ------------------------------------------------
+  void send_new_packets(SenderFlow& flow, std::uint32_t count);
+  void send_data_seq(SenderFlow& flow, std::uint32_t seq);
+
+  // --- receiver-side helpers ----------------------------------------------
+  // A grant template addressed to the flow's sender (64B control packet).
+  [[nodiscard]] net::Packet make_grant(const ReceiverFlow& flow) const;
+  // Issues `count` allowance credits (clamped to remaining_ungranted) as one
+  // grant packet; returns the credits actually granted.
+  std::uint32_t grant_new(ReceiverFlow& flow, std::uint32_t count, bool marked);
+
+  // The unified credit path protocols should use: each credit repairs a
+  // presumed-lost packet if one is due, and only otherwise triggers new
+  // data. This keeps the number of packets in circulation conserved — the
+  // defining property of receiver-driven transports — even across losses.
+  std::uint32_t issue_credits(ReceiverFlow& flow, std::uint32_t count, bool marked);
+  // New-packet leg of issue_credits; Homa overrides it with offset grants.
+  virtual std::uint32_t grant_new_credits(ReceiverFlow& flow, std::uint32_t count, bool marked);
+  // True if the flow has work for another credit (repairs or ungranted data).
+  [[nodiscard]] bool wants_credit(ReceiverFlow& flow);
+  // Packets currently presumed lost (repair entries not yet satisfied).
+  [[nodiscard]] std::size_t presumed_lost(const ReceiverFlow& flow) const {
+    return flow.repair_set.size();
+  }
+
+  std::unordered_map<net::FlowId, SenderFlow> snd_;
+  std::unordered_map<net::FlowId, ReceiverFlow> rcv_;
+
+  // Receiver flows seen to completion; stale retransmissions are ignored.
+  std::unordered_set<net::FlowId> finished_rcv_;
+
+ private:
+  void on_data(net::Packet&& pkt) final;
+  void on_rts(net::Packet&& pkt) final;
+  void on_grant(net::Packet&& pkt) final;
+  void on_done(net::Packet&& pkt) final;
+
+  ReceiverFlow* ensure_registered(const net::Packet& pkt);
+  void finish_receive(ReceiverFlow& flow);
+  void arm_recovery(ReceiverFlow& flow, sim::Duration delay);
+  void recovery_fire(net::FlowId id);
+  void detect_losses(ReceiverFlow& flow);
+  [[nodiscard]] std::optional<std::uint32_t> pop_due_repair(ReceiverFlow& flow);
+
+  Protocol proto_;
+  sim::Duration rto_;
+};
+
+}  // namespace amrt::transport

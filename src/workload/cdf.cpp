@@ -1,0 +1,65 @@
+#include "workload/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace amrt::workload {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<Point> points) : points_{std::move(points)} {
+  if (points_.size() < 2) throw std::invalid_argument("EmpiricalCdf: need at least two knots");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].bytes <= points_[i - 1].bytes || points_[i].cum <= points_[i - 1].cum) {
+      throw std::invalid_argument("EmpiricalCdf: knots must be strictly increasing");
+    }
+  }
+  if (points_.front().cum < 0.0 || std::abs(points_.back().cum - 1.0) > 1e-9) {
+    throw std::invalid_argument("EmpiricalCdf: last knot must have cum == 1");
+  }
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= points_.front().cum) return points_.front().bytes;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (q <= points_[i].cum) {
+      const auto& lo = points_[i - 1];
+      const auto& hi = points_[i];
+      const double t = (q - lo.cum) / (hi.cum - lo.cum);
+      return lo.bytes + t * (hi.bytes - lo.bytes);
+    }
+  }
+  return points_.back().bytes;
+}
+
+std::uint64_t EmpiricalCdf::sample(sim::Rng& rng) const {
+  const double bytes = quantile(rng.uniform());
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::llround(bytes)));
+}
+
+double EmpiricalCdf::mean_bytes() const {
+  // The first knot carries a point mass of its own cum; each following
+  // segment is uniform between its endpoints.
+  double mean = points_.front().bytes * points_.front().cum;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const auto& lo = points_[i - 1];
+    const auto& hi = points_[i];
+    mean += (hi.cum - lo.cum) * 0.5 * (lo.bytes + hi.bytes);
+  }
+  return mean;
+}
+
+double EmpiricalCdf::fraction_below(double bytes) const {
+  if (bytes <= points_.front().bytes) return points_.front().cum;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (bytes <= points_[i].bytes) {
+      const auto& lo = points_[i - 1];
+      const auto& hi = points_[i];
+      const double t = (bytes - lo.bytes) / (hi.bytes - lo.bytes);
+      return lo.cum + t * (hi.cum - lo.cum);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace amrt::workload

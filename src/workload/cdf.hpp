@@ -1,0 +1,44 @@
+// Empirical flow-size distributions.
+//
+// A CDF is a piecewise-linear function over flow size in bytes, given as
+// (size, cumulative-probability) knots — the standard format used by the
+// pHost/Homa/ExpressPass simulation harnesses whose workloads Section 8.1
+// borrows. Sampling inverts the CDF with linear interpolation inside each
+// segment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace amrt::workload {
+
+class EmpiricalCdf {
+ public:
+  struct Point {
+    double bytes = 0;
+    double cum = 0;  // cumulative probability in (0, 1]
+  };
+
+  // Knots must be strictly increasing in both coordinates and end at cum==1.
+  explicit EmpiricalCdf(std::vector<Point> points);
+
+  [[nodiscard]] std::uint64_t sample(sim::Rng& rng) const;
+
+  // Analytic mean/quantile under the piecewise-linear model (matches what
+  // sampling converges to).
+  [[nodiscard]] double mean_bytes() const;
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double min_bytes() const { return points_.front().bytes; }
+  [[nodiscard]] double max_bytes() const { return points_.back().bytes; }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  // Fraction of flows no larger than `bytes`.
+  [[nodiscard]] double fraction_below(double bytes) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace amrt::workload

@@ -1,0 +1,39 @@
+#include "workload/generator.hpp"
+
+#include <stdexcept>
+
+namespace amrt::workload {
+
+sim::Duration FlowGenerator::mean_interarrival(const TrafficConfig& cfg) const {
+  // load * n_hosts * rate [bits/s] must equal mean_size [bits] * lambda.
+  const double agg_bps =
+      cfg.load * static_cast<double>(cfg.n_hosts) * static_cast<double>(cfg.host_rate.bits_per_second());
+  const double mean_bits = sizes_.mean_bytes() * 8.0;
+  if (agg_bps <= 0.0) throw std::invalid_argument("FlowGenerator: load must be positive");
+  const double lambda = agg_bps / mean_bits;  // flows per second
+  return sim::Duration::from_seconds(1.0 / lambda);
+}
+
+std::vector<GeneratedFlow> FlowGenerator::generate(const TrafficConfig& cfg) {
+  if (cfg.n_hosts < 2) throw std::invalid_argument("FlowGenerator: need at least two hosts");
+  const double mean_gap_s = mean_interarrival(cfg).to_seconds();
+
+  std::vector<GeneratedFlow> flows;
+  flows.reserve(cfg.n_flows);
+  sim::TimePoint at = cfg.first_arrival;
+  for (std::size_t i = 0; i < cfg.n_flows; ++i) {
+    GeneratedFlow f;
+    f.id = i + 1;
+    f.src_host = rng_.index(cfg.n_hosts);
+    do {
+      f.dst_host = rng_.index(cfg.n_hosts);
+    } while (f.dst_host == f.src_host);
+    f.bytes = sizes_.sample(rng_);
+    at += sim::Duration::from_seconds(rng_.exponential(mean_gap_s));
+    f.start = at;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace amrt::workload

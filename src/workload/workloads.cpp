@@ -1,0 +1,130 @@
+#include "workload/workloads.hpp"
+
+#include <stdexcept>
+
+namespace amrt::workload {
+
+namespace {
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+
+EmpiricalCdf make_web_server() {
+  // Section 8.1: "except for tiny flows smaller than 10KB the size of the
+  // other flows is uniformly distributed from 10KB to 1MB, resulting in the
+  // smallest average flow size" (~64KB with an 88/12 split).
+  return EmpiricalCdf{{
+      {1 * kKB, 0.30},
+      {5 * kKB, 0.62},
+      {10 * kKB, 0.88},
+      {1 * kMB, 1.00},
+  }};
+}
+
+EmpiricalCdf make_cache_follower() {
+  // Facebook cache-follower mix: dominated by sub-KB objects with a body of
+  // mid-size responses and a modest multi-MB tail (mean ~0.6MB).
+  return EmpiricalCdf{{
+      {0.3 * kKB, 0.30},
+      {1 * kKB, 0.50},
+      {2 * kKB, 0.60},
+      {10 * kKB, 0.70},
+      {100 * kKB, 0.80},
+      {1 * kMB, 0.90},
+      {10 * kMB, 1.00},
+  }};
+}
+
+EmpiricalCdf make_hadoop() {
+  // Facebook Hadoop cluster: mostly small control/shuffle records, tail of
+  // multi-MB block transfers (mean ~2.4MB).
+  return EmpiricalCdf{{
+      {0.5 * kKB, 0.40},
+      {2 * kKB, 0.55},
+      {10 * kKB, 0.70},
+      {100 * kKB, 0.80},
+      {1 * kMB, 0.90},
+      {10 * kMB, 0.96},
+      {30 * kMB, 1.00},
+  }};
+}
+
+EmpiricalCdf make_web_search() {
+  // DCTCP web-search distribution (mean ~1.6MB): half the flows under
+  // ~50KB, >95% of bytes from flows over 1MB.
+  return EmpiricalCdf{{
+      {6 * kKB, 0.15},
+      {13 * kKB, 0.20},
+      {19 * kKB, 0.30},
+      {33 * kKB, 0.40},
+      {53 * kKB, 0.53},
+      {133 * kKB, 0.60},
+      {667 * kKB, 0.70},
+      {1333 * kKB, 0.80},
+      {3333 * kKB, 0.90},
+      {6667 * kKB, 0.97},
+      {20 * kMB, 1.00},
+  }};
+}
+
+EmpiricalCdf make_data_mining() {
+  // VL2 data-mining distribution (mean ~7.4MB): 80% of flows under 10KB,
+  // but almost all bytes in a tail of multi-hundred-MB transfers.
+  return EmpiricalCdf{{
+      {1 * kKB, 0.50},
+      {2 * kKB, 0.60},
+      {3 * kKB, 0.70},
+      {7 * kKB, 0.80},
+      {267 * kKB, 0.90},
+      {2107 * kKB, 0.95},
+      {30 * kMB, 0.98},
+      {600 * kMB, 1.00},
+  }};
+}
+}  // namespace
+
+const char* name(Kind k) {
+  switch (k) {
+    case Kind::kWebServer: return "Web Server";
+    case Kind::kCacheFollower: return "Cache Follower";
+    case Kind::kHadoop: return "Hadoop Cluster";
+    case Kind::kWebSearch: return "Web Search";
+    case Kind::kDataMining: return "Data Mining";
+  }
+  return "?";
+}
+
+const char* abbrev(Kind k) {
+  switch (k) {
+    case Kind::kWebServer: return "WSv";
+    case Kind::kCacheFollower: return "CF";
+    case Kind::kHadoop: return "HC";
+    case Kind::kWebSearch: return "WSc";
+    case Kind::kDataMining: return "DM";
+  }
+  return "?";
+}
+
+Kind kind_from_string(const std::string& s) {
+  for (Kind k : kAllKinds) {
+    if (s == name(k) || s == abbrev(k)) return k;
+  }
+  throw std::invalid_argument("unknown workload: " + s);
+}
+
+const EmpiricalCdf& cdf(Kind k) {
+  static const EmpiricalCdf web_server = make_web_server();
+  static const EmpiricalCdf cache_follower = make_cache_follower();
+  static const EmpiricalCdf hadoop = make_hadoop();
+  static const EmpiricalCdf web_search = make_web_search();
+  static const EmpiricalCdf data_mining = make_data_mining();
+  switch (k) {
+    case Kind::kWebServer: return web_server;
+    case Kind::kCacheFollower: return cache_follower;
+    case Kind::kHadoop: return hadoop;
+    case Kind::kWebSearch: return web_search;
+    case Kind::kDataMining: return data_mining;
+  }
+  return web_server;
+}
+
+}  // namespace amrt::workload

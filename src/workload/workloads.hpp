@@ -1,0 +1,32 @@
+// The five realistic workloads of Section 8.1: Web Server (WSv), Cache
+// Follower (CF), Hadoop Cluster (HC), Web Search (WSc) and Data Mining (DM).
+//
+// The paper reuses the distributions published with pHost/Homa/ExpressPass;
+// the knots below reproduce their published shapes: WSv is mostly-tiny with
+// a uniform 10KB-1MB body (smallest mean), WSc follows the DCTCP web-search
+// distribution, DM the VL2 data-mining distribution (heaviest tail, ~7.4MB
+// mean), and CF/HC the Facebook cache/Hadoop mixes in between. All five put
+// more than half of the flows under 10KB while >90% of bytes come from the
+// large-flow tail (except WSv, by construction).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "workload/cdf.hpp"
+
+namespace amrt::workload {
+
+enum class Kind { kWebServer, kCacheFollower, kHadoop, kWebSearch, kDataMining };
+
+inline constexpr std::array<Kind, 5> kAllKinds = {
+    Kind::kWebServer, Kind::kCacheFollower, Kind::kHadoop, Kind::kWebSearch, Kind::kDataMining};
+
+[[nodiscard]] const char* name(Kind k);          // "Web Server"
+[[nodiscard]] const char* abbrev(Kind k);        // "WSv"
+[[nodiscard]] Kind kind_from_string(const std::string& s);  // accepts name or abbrev
+
+// The flow-size distribution of a workload (built once, cached).
+[[nodiscard]] const EmpiricalCdf& cdf(Kind k);
+
+}  // namespace amrt::workload

@@ -1,0 +1,160 @@
+// Unit tests for the anti-ECN marker (src/core/anti_ecn.hpp) — Eq. (1)-(3).
+#include <gtest/gtest.h>
+
+#include "core/anti_ecn.hpp"
+
+using amrt::core::AntiEcnMarker;
+using namespace amrt::net;
+using namespace amrt::sim;
+using namespace amrt::sim::literals;
+
+namespace {
+Packet amrt_data() {
+  Packet p;
+  p.type = PacketType::kData;
+  p.ecn_capable = true;
+  p.ce = true;  // senders initialize CE=1 (Sec. 4.1)
+  p.wire_bytes = kMtuBytes;
+  p.payload_bytes = kMssBytes;
+  return p;
+}
+
+constexpr Bandwidth kRate = Bandwidth::gbps(10);
+// At 10Gbps one MTU takes 1.2us; that's the Eq. (2) threshold.
+constexpr auto kThreshold = 1200_ns;
+}  // namespace
+
+TEST(AntiEcn, FirstPacketOnIdleLinkStaysMarked) {
+  AntiEcnMarker m;
+  auto p = amrt_data();
+  m.on_dequeue(p, TimePoint::zero(), TimePoint::zero(), kRate);
+  EXPECT_TRUE(p.ce);  // a never-used link is spare by definition
+}
+
+TEST(AntiEcn, BackToBackPacketClearsMark) {
+  AntiEcnMarker m;
+  auto p0 = amrt_data();
+  m.on_dequeue(p0, TimePoint::zero(), TimePoint::zero(), kRate);
+  auto p1 = amrt_data();
+  // Previous tx ended at 1200ns, this one starts right then: zero gap.
+  m.on_dequeue(p1, TimePoint::from_ns(1200), TimePoint::from_ns(1200), kRate);
+  EXPECT_FALSE(p1.ce);
+}
+
+TEST(AntiEcn, GapOfExactlyOneMtuKeepsMark) {
+  AntiEcnMarker m;
+  auto p0 = amrt_data();
+  m.on_dequeue(p0, TimePoint::zero(), TimePoint::zero(), kRate);
+  auto p1 = amrt_data();
+  m.on_dequeue(p1, TimePoint::from_ns(1200) + kThreshold, TimePoint::from_ns(1200), kRate);
+  EXPECT_TRUE(p1.ce);  // Eq. (2) uses >=
+}
+
+TEST(AntiEcn, GapJustUnderThresholdClears) {
+  AntiEcnMarker m;
+  auto p0 = amrt_data();
+  m.on_dequeue(p0, TimePoint::zero(), TimePoint::zero(), kRate);
+  auto p1 = amrt_data();
+  m.on_dequeue(p1, TimePoint::from_ns(1200 + 1199), TimePoint::from_ns(1200), kRate);
+  EXPECT_FALSE(p1.ce);
+}
+
+TEST(AntiEcn, AndSemanticsAcrossSwitches) {
+  // Eq. (3): a packet marked spare at switch 1 but saturated at switch 2
+  // must arrive unmarked; once cleared it can never be re-marked.
+  AntiEcnMarker sw1, sw2;
+  auto p = amrt_data();
+  sw1.on_dequeue(p, TimePoint::from_ns(10'000), TimePoint::zero(), kRate);  // big gap: keep
+  EXPECT_TRUE(p.ce);
+  sw2.on_dequeue(p, TimePoint::from_ns(20'000), TimePoint::zero(), kRate);  // sw2's first packet
+  EXPECT_TRUE(p.ce);
+  auto p2 = amrt_data();
+  p2.ce = false;  // already cleared upstream
+  sw1.on_dequeue(p2, TimePoint::from_ns(50'000), TimePoint::from_ns(11'200), kRate);
+  EXPECT_FALSE(p2.ce) << "a spare hop must not resurrect a cleared mark";
+}
+
+TEST(AntiEcn, NonEcnCapablePacketUntouched) {
+  AntiEcnMarker m;
+  Packet p = amrt_data();
+  p.ecn_capable = false;
+  p.ce = false;
+  m.on_dequeue(p, TimePoint::from_ns(100'000), TimePoint::zero(), kRate);
+  EXPECT_FALSE(p.ce);
+  EXPECT_EQ(m.observed(), 0u);
+}
+
+TEST(AntiEcn, ControlPacketsIgnoredButAdvanceState) {
+  AntiEcnMarker m;
+  Packet grant;
+  grant.type = PacketType::kGrant;
+  grant.wire_bytes = kCtrlBytes;
+  m.on_dequeue(grant, TimePoint::zero(), TimePoint::zero(), kRate);
+  EXPECT_EQ(m.observed(), 0u);
+  // The next data packet is no longer "first use" — the link carried the grant.
+  auto p = amrt_data();
+  m.on_dequeue(p, TimePoint::from_ns(52), TimePoint::from_ns(52), kRate);
+  EXPECT_FALSE(p.ce);
+}
+
+TEST(AntiEcn, TrimmedHeadersNotMarked) {
+  AntiEcnMarker m;
+  auto p = amrt_data();
+  p.trimmed = true;
+  m.on_dequeue(p, TimePoint::from_ns(100'000), TimePoint::zero(), kRate);
+  EXPECT_EQ(m.observed(), 0u);
+}
+
+TEST(AntiEcn, CountersTrackDecisions) {
+  AntiEcnMarker m;
+  auto p0 = amrt_data();
+  m.on_dequeue(p0, TimePoint::zero(), TimePoint::zero(), kRate);  // kept
+  auto p1 = amrt_data();
+  m.on_dequeue(p1, TimePoint::from_ns(1200), TimePoint::from_ns(1200), kRate);  // cleared
+  EXPECT_EQ(m.observed(), 2u);
+  EXPECT_EQ(m.kept_marked(), 1u);
+  EXPECT_EQ(m.cleared(), 1u);
+}
+
+TEST(AntiEcn, CustomProbeSize) {
+  AntiEcnMarker m{3000};  // require room for two MTUs
+  auto p0 = amrt_data();
+  m.on_dequeue(p0, TimePoint::zero(), TimePoint::zero(), kRate);
+  auto p1 = amrt_data();
+  // 1.5us gap: enough for one MTU but not 3000B.
+  m.on_dequeue(p1, TimePoint::from_ns(1200 + 1500), TimePoint::from_ns(1200), kRate);
+  EXPECT_FALSE(p1.ce);
+}
+
+// Property sweep: for every gap in a grid, the mark must equal gap >= MTU/C.
+class AntiEcnGapSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(AntiEcnGapSweep, MarkMatchesThresholdRule) {
+  const std::int64_t gap_ns = GetParam();
+  AntiEcnMarker m;
+  auto warm = amrt_data();
+  m.on_dequeue(warm, TimePoint::zero(), TimePoint::zero(), kRate);
+  auto p = amrt_data();
+  const auto last_end = TimePoint::from_ns(1200);
+  m.on_dequeue(p, last_end + Duration::nanoseconds(gap_ns), last_end, kRate);
+  EXPECT_EQ(p.ce, gap_ns >= 1200) << "gap " << gap_ns;
+}
+
+INSTANTIATE_TEST_SUITE_P(GapGrid, AntiEcnGapSweep,
+                         ::testing::Values(0, 1, 100, 600, 1199, 1200, 1201, 2400, 10'000,
+                                           1'000'000));
+
+// At 1Gbps the threshold scales to 12us.
+TEST(AntiEcn, ThresholdScalesWithLinkRate) {
+  AntiEcnMarker m;
+  const auto rate = Bandwidth::gbps(1);
+  auto p0 = amrt_data();
+  m.on_dequeue(p0, TimePoint::zero(), TimePoint::zero(), rate);
+  auto p1 = amrt_data();
+  m.on_dequeue(p1, TimePoint::from_ns(12'000 + 11'000), TimePoint::from_ns(12'000), rate);
+  EXPECT_FALSE(p1.ce);
+  auto p2 = amrt_data();
+  m.on_dequeue(p2, TimePoint::from_ns(23'000 + 12'000 + 12'000), TimePoint::from_ns(23'000 + 12'000),
+               rate);
+  EXPECT_TRUE(p2.ce);
+}

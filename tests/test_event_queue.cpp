@@ -1,0 +1,123 @@
+// Unit tests for the cancellable event set (src/sim/event_queue.hpp).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+using namespace amrt::sim;
+
+namespace {
+TimePoint at_ns(std::int64_t ns) { return TimePoint::from_ns(ns); }
+}  // namespace
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  (void)q.push(at_ns(30), [&] { order.push_back(3); });
+  (void)q.push(at_ns(10), [&] { order.push_back(1); });
+  (void)q.push(at_ns(20), [&] { order.push_back(2); });
+  while (auto e = q.pop()) e->cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    (void)q.push(at_ns(100), [&order, i] { order.push_back(i); });
+  }
+  while (auto e = q.pop()) e->cb();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PopReturnsTimestamp) {
+  EventQueue q;
+  (void)q.push(at_ns(42), [] {});
+  auto e = q.pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->when.ns(), 42);
+}
+
+TEST(EventQueue, EmptyPopReturnsNullopt) {
+  EventQueue q;
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.push(at_ns(10), [&] { ++fired; });
+  h.cancel();
+  while (auto e = q.pop()) e->cb();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CancelledEventSkippedButOthersFire) {
+  EventQueue q;
+  std::vector<int> order;
+  auto h1 = q.push(at_ns(10), [&] { order.push_back(1); });
+  (void)q.push(at_ns(20), [&] { order.push_back(2); });
+  h1.cancel();
+  while (auto e = q.pop()) e->cb();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  auto h = q.push(at_ns(10), [] {});
+  h.cancel();
+  h.cancel();  // no crash, no effect
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, PendingReflectsLifecycle) {
+  EventQueue q;
+  auto h = q.push(at_ns(10), [] {});
+  EXPECT_TRUE(h.pending());
+  (void)q.pop();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventQueue, DefaultHandleIsNotPending) {
+  EventQueue::Handle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto h = q.push(at_ns(10), [] {});
+  (void)q.push(at_ns(20), [] {});
+  h.cancel();
+  ASSERT_TRUE(q.next_time().has_value());
+  EXPECT_EQ(q.next_time()->ns(), 20);
+}
+
+TEST(EventQueue, EmptyAccountsForCancellations) {
+  EventQueue q;
+  auto h = q.push(at_ns(10), [] {});
+  EXPECT_FALSE(q.empty());
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ManyInterleavedPushesAndPops) {
+  EventQueue q;
+  std::int64_t last = -1;
+  bool monotonic = true;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      (void)q.push(at_ns(round * 10 + (i * 7) % 10), [] {});
+    }
+    // Drain half each round; order must stay globally monotonic.
+    for (int i = 0; i < 5; ++i) {
+      auto e = q.pop();
+      ASSERT_TRUE(e.has_value());
+      monotonic = monotonic && e->when.ns() >= last;
+      last = e->when.ns();
+    }
+  }
+  EXPECT_TRUE(monotonic);
+}

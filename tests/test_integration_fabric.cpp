@@ -1,0 +1,122 @@
+// Integration tests of the full leaf-spine experiment pipeline
+// (workload generation -> fabric -> transports -> metrics).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+using namespace amrt;
+using namespace amrt::sim::literals;
+using harness::ExperimentConfig;
+using transport::Protocol;
+
+namespace {
+ExperimentConfig tiny(Protocol proto) {
+  ExperimentConfig cfg;
+  cfg.proto = proto;
+  cfg.workload = workload::Kind::kWebServer;
+  cfg.leaves = 2;
+  cfg.spines = 2;
+  cfg.hosts_per_leaf = 4;
+  cfg.n_flows = 60;
+  cfg.load = 0.5;
+  cfg.link_delay = 5_us;
+  return cfg;
+}
+
+std::string proto_name(const ::testing::TestParamInfo<Protocol>& info) {
+  return transport::to_string(info.param);
+}
+}  // namespace
+
+class Fabric : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(Fabric, AllFlowsComplete) {
+  const auto r = harness::run_leaf_spine(tiny(GetParam()));
+  EXPECT_EQ(r.flows_completed, 60u);
+  EXPECT_EQ(r.flows_started, 60u);
+  EXPECT_GT(r.fct_all.afct_us, 0.0);
+}
+
+TEST_P(Fabric, GoodputConservation) {
+  // Delivered payload equals the sum of generated flow sizes: regenerate the
+  // same flow list and compare.
+  auto cfg = tiny(GetParam());
+  const auto r = harness::run_leaf_spine(cfg);
+  sim::Rng rng{cfg.seed};
+  workload::FlowGenerator gen{workload::cdf(cfg.workload), rng};
+  workload::TrafficConfig traffic;
+  traffic.load = cfg.load;
+  traffic.n_flows = cfg.n_flows;
+  traffic.n_hosts = 8;
+  traffic.host_rate = cfg.link_rate;
+  std::uint64_t expected = 0;
+  for (const auto& f : gen.generate(traffic)) expected += f.bytes;
+  EXPECT_EQ(r.bytes_delivered, expected);
+}
+
+TEST_P(Fabric, DeterministicAcrossRuns) {
+  const auto a = harness::run_leaf_spine(tiny(GetParam()));
+  const auto b = harness::run_leaf_spine(tiny(GetParam()));
+  EXPECT_DOUBLE_EQ(a.fct_all.afct_us, b.fct_all.afct_us);
+  EXPECT_DOUBLE_EQ(a.fct_all.p99_us, b.fct_all.p99_us);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST_P(Fabric, SeedChangesOutcome) {
+  auto cfg = tiny(GetParam());
+  const auto a = harness::run_leaf_spine(cfg);
+  cfg.seed = 999;
+  const auto b = harness::run_leaf_spine(cfg);
+  EXPECT_NE(a.fct_all.afct_us, b.fct_all.afct_us);
+}
+
+TEST_P(Fabric, MetricsWithinPhysicalBounds) {
+  const auto r = harness::run_leaf_spine(tiny(GetParam()));
+  EXPECT_GE(r.mean_utilization, 0.0);
+  EXPECT_LE(r.mean_utilization, 1.0);
+  EXPECT_LE(r.fct_all.p50_us, r.fct_all.p99_us);
+  EXPECT_LE(r.fct_all.p99_us, r.fct_all.max_fct_us + 1e-9);
+  EXPECT_GT(r.sim_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, Fabric,
+                         ::testing::Values(Protocol::kAmrt, Protocol::kPhost, Protocol::kHoma,
+                                           Protocol::kNdp),
+                         proto_name);
+
+TEST(FabricLoad, HigherLoadSlowsFlows) {
+  auto lo = tiny(Protocol::kAmrt);
+  lo.load = 0.2;
+  lo.n_flows = 120;
+  auto hi = lo;
+  hi.load = 0.9;
+  const auto rl = harness::run_leaf_spine(lo);
+  const auto rh = harness::run_leaf_spine(hi);
+  EXPECT_EQ(rl.flows_completed, 120u);
+  EXPECT_EQ(rh.flows_completed, 120u);
+  // Temporal compression at 0.9 load must hurt tail latency.
+  EXPECT_GT(rh.fct_all.p99_us, rl.fct_all.p99_us);
+}
+
+TEST(FabricQueues, HomaGetsPriorityQueuesNdpTrims) {
+  auto cfg = tiny(Protocol::kNdp);
+  cfg.n_flows = 100;
+  cfg.load = 0.9;
+  const auto ndp = harness::run_leaf_spine(cfg);
+  EXPECT_EQ(ndp.drops, 0u) << "NDP data is trimmed, not dropped";
+  auto cfg2 = tiny(Protocol::kHoma);
+  cfg2.n_flows = 100;
+  cfg2.load = 0.9;
+  const auto homa = harness::run_leaf_spine(cfg2);
+  EXPECT_EQ(homa.trims, 0u);
+}
+
+TEST(FabricWorkloads, EveryWorkloadRunsEndToEnd) {
+  for (auto wk : workload::kAllKinds) {
+    auto cfg = tiny(Protocol::kAmrt);
+    cfg.workload = wk;
+    cfg.n_flows = 25;
+    const auto r = harness::run_leaf_spine(cfg);
+    EXPECT_EQ(r.flows_completed, 25u) << workload::name(wk);
+  }
+}

@@ -1,0 +1,138 @@
+// Unit + property tests for the Section-5 analytical model (src/model/).
+#include <gtest/gtest.h>
+
+#include "model/amrt_model.hpp"
+
+using namespace amrt::model;
+
+namespace {
+Scenario base() {
+  Scenario s;
+  s.S = 1e6;       // 1MB
+  s.C = 1e9;       // 1Gbps
+  s.R = 0.5e9;     // halved
+  s.T_R = 0.0;
+  s.rtt = 100e-6;  // 100us
+  return s;
+}
+}  // namespace
+
+TEST(FillTime, PaperExampleNSixKFour) {
+  // Fig. 5: n=6 back-to-back slots, k=4 vacancies -> [2, 4] RTTs.
+  const auto ft = fill_time(6, 4);
+  EXPECT_DOUBLE_EQ(ft.min_rtts, 2.0);
+  EXPECT_DOUBLE_EQ(ft.max_rtts, 4.0);
+}
+
+TEST(FillTime, NoVacanciesIsInstant) {
+  const auto ft = fill_time(10, 0);
+  EXPECT_DOUBLE_EQ(ft.min_rtts, 0.0);
+  EXPECT_DOUBLE_EQ(ft.max_rtts, 0.0);
+}
+
+TEST(FillTime, SingleVacancy) {
+  const auto ft = fill_time(6, 1);
+  EXPECT_DOUBLE_EQ(ft.min_rtts, 1.0);
+  EXPECT_DOUBLE_EQ(ft.max_rtts, 1.0);
+}
+
+TEST(FillTime, RejectsInvalid) {
+  EXPECT_THROW((void)fill_time(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)fill_time(5, 5), std::invalid_argument);
+  EXPECT_THROW((void)fill_time(5, 6), std::invalid_argument);
+}
+
+TEST(FillTime, MinNeverExceedsMax) {
+  for (std::uint32_t n = 2; n <= 40; ++n) {
+    for (std::uint32_t k = 1; k < n; ++k) {
+      const auto ft = fill_time(n, k);
+      EXPECT_LE(ft.min_rtts, ft.max_rtts) << n << "," << k;
+      EXPECT_GE(ft.min_rtts, 1.0);
+    }
+  }
+}
+
+TEST(Model, TraditionalFctMatchesEq6) {
+  auto s = base();
+  // T_R=0: everything at rate R: T1 = S*8/R = 16ms.
+  EXPECT_DOUBLE_EQ(fct_traditional(s), 16e-3);
+  s.T_R = 1e-3;  // 1ms at full rate first
+  EXPECT_DOUBLE_EQ(fct_traditional(s), (8e6 - 1e9 * 1e-3) / 0.5e9 + 1e-3);
+}
+
+TEST(Model, ConvergenceBoundsOrdered) {
+  const auto s = base();
+  EXPECT_LE(convergence_earliest(s), convergence_latest(s));
+  EXPECT_GT(convergence_earliest(s), s.T_R);
+}
+
+TEST(Model, EarliestConvergenceIsDoublingTime) {
+  auto s = base();
+  s.R = 0.25e9;  // needs ceil(0.75/0.25)=3 doubling steps
+  EXPECT_DOUBLE_EQ(convergence_earliest(s), 3 * s.rtt);
+}
+
+TEST(Model, AmrtFctBetweenIdealAndTraditional) {
+  const auto s = base();
+  const double ti = s.S * 8 / s.C;
+  for (double t : {convergence_earliest(s), convergence_latest(s)}) {
+    const double t2 = fct_amrt(s, t);
+    EXPECT_GT(t2, ti);
+    EXPECT_LT(t2, fct_traditional(s));
+  }
+}
+
+TEST(Model, GainsExceedOne) {
+  const auto s = base();
+  const auto ug = utilization_gain_bounds(s);
+  const auto fg = fct_gain_bounds(s);
+  EXPECT_GT(ug.min_gain, 1.0);
+  EXPECT_GE(ug.max_gain, ug.min_gain);
+  EXPECT_GT(fg.min_gain, 1.0);
+  EXPECT_GE(fg.max_gain, fg.min_gain);
+}
+
+TEST(Model, RejectsInvalidScenarios) {
+  auto s = base();
+  s.R = s.C;  // no reduction
+  EXPECT_THROW((void)fct_traditional(s), std::invalid_argument);
+  s = base();
+  s.S = 0;
+  EXPECT_THROW((void)fct_traditional(s), std::invalid_argument);
+  s = base();
+  s.T_R = 1.0;  // flow already done before the drop
+  EXPECT_THROW((void)fct_traditional(s), std::invalid_argument);
+}
+
+// Property: utilization gain grows as R/C shrinks (Fig. 7a/b trend).
+class GainVsRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(GainVsRate, GainDecreasesWithRatio) {
+  const double rc = GetParam();
+  auto lo = base();
+  lo.R = rc * lo.C;
+  auto hi = base();
+  hi.R = (rc + 0.1) * hi.C;
+  EXPECT_GE(utilization_gain_bounds(lo).min_gain, utilization_gain_bounds(hi).min_gain);
+}
+
+INSTANTIATE_TEST_SUITE_P(RatioGrid, GainVsRate, ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8));
+
+// Property: FCT gain grows with flow size (Fig. 7 trend).
+class GainVsSize : public ::testing::TestWithParam<double> {};
+
+TEST_P(GainVsSize, LargerFlowsGainMore) {
+  auto small = base();
+  small.S = GetParam();
+  auto large = base();
+  large.S = GetParam() * 10;
+  EXPECT_LE(fct_gain_bounds(small).min_gain, fct_gain_bounds(large).min_gain);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeGrid, GainVsSize, ::testing::Values(1e5, 1e6, 1e7));
+
+TEST(Model, UtilizationGainEqualsFctRatio) {
+  const auto s = base();
+  const double t = convergence_latest(s);
+  EXPECT_DOUBLE_EQ(utilization_gain(s, t), fct_traditional(s) / fct_amrt(s, t));
+}

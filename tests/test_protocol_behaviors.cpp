@@ -1,0 +1,191 @@
+// Protocol-specific behaviour tests: the mechanisms that differentiate
+// AMRT, pHost, Homa and NDP from the shared receiver-driven skeleton.
+#include <gtest/gtest.h>
+
+#include "core/amrt.hpp"
+#include "test_rig.hpp"
+
+using namespace amrt;
+using namespace amrt::sim::literals;
+using amrt::testutil::DumbbellRig;
+using amrt::testutil::RigOptions;
+using transport::Protocol;
+
+// ---------------------------------------------------------------------------
+// AMRT
+// ---------------------------------------------------------------------------
+
+TEST(AmrtBehavior, SoloFlowRampsViaMarkedGrants) {
+  RigOptions opt;
+  opt.proto = Protocol::kAmrt;
+  opt.unscheduled = false;  // force the ramp to come from marking alone
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 2'000'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 200_ms));
+  auto& receiver = static_cast<core::AmrtEndpoint&>(rig.receiver_ep(0));
+  EXPECT_GT(receiver.marked_grants_sent(), 10u)
+      << "an under-utilized path must produce marked grants";
+  // Doubling from 1 packet/RTT must beat plain arrival clocking by a lot:
+  // arrival-clocked would need ~1370 RTTs for 1370 packets; expect < 100.
+  const auto fct = rig.recorder().completed().at(0).fct();
+  EXPECT_LT(fct, rig.tcfg().base_rtt * 100);
+}
+
+TEST(AmrtBehavior, SaturatedBottleneckStopsMarking) {
+  RigOptions opt;
+  opt.proto = Protocol::kAmrt;
+  opt.pairs = 2;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 3'000'000);
+  rig.start_flow(2, 1, 3'000'000);
+  ASSERT_TRUE(rig.run_to_completion(2, 200_ms));
+  // With two flows saturating the bottleneck, the overwhelming majority of
+  // packets must arrive unmarked (marks only during startup/teardown).
+  std::uint64_t marked = 0;
+  for (int i = 0; i < 2; ++i) {
+    marked += static_cast<core::AmrtEndpoint&>(rig.receiver_ep(i)).marked_grants_sent();
+  }
+  const std::uint64_t total_pkts = 2 * net::packets_for_bytes(3'000'000);
+  EXPECT_LT(marked, total_pkts / 4);
+}
+
+TEST(AmrtBehavior, DataPacketsCarryCeInitializedToOne) {
+  // Capture a sender-side data packet by looking at the NIC queue contents
+  // indirectly: run a flow with no marker on the path; CE must survive to
+  // the receiver (AND over zero switches = initial value 1).
+  RigOptions opt;
+  opt.proto = Protocol::kAmrt;
+  opt.unscheduled = false;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 100'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 200_ms));
+  auto& receiver = static_cast<core::AmrtEndpoint&>(rig.receiver_ep(0));
+  EXPECT_GT(receiver.marked_grants_sent(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// pHost
+// ---------------------------------------------------------------------------
+
+TEST(PhostBehavior, SrptPrefersShortFlow) {
+  // Two flows from different senders to the SAME receiver; the shorter one
+  // must finish first even though both start together, because tokens go to
+  // the smallest remaining flow.
+  RigOptions opt;
+  opt.proto = Protocol::kPhost;
+  opt.pairs = 2;
+  DumbbellRig rig{opt};
+  // Send both to receiver 0: craft specs manually.
+  transport::FlowSpec big{1, rig.sender(0).id(), rig.receiver(0).id(), 4'000'000,
+                          sim::TimePoint::zero()};
+  transport::FlowSpec small{2, rig.sender(1).id(), rig.receiver(0).id(), 400'000,
+                            sim::TimePoint::zero()};
+  rig.sender_ep(0).start_flow(big);
+  rig.sender_ep(1).start_flow(small);
+  ASSERT_TRUE(rig.run_to_completion(2, 1_s));
+  const auto big_rec = rig.recorder().record_of(1);
+  const auto small_rec = rig.recorder().record_of(2);
+  ASSERT_TRUE(big_rec && small_rec);
+  EXPECT_LT(small_rec->end, big_rec->end);
+}
+
+TEST(PhostBehavior, ArrivalClockedRateNeverRecovers) {
+  // The motivation property: after a co-flow departs, the survivor's rate
+  // stays flat under pHost (no marking to tell it otherwise).
+  RigOptions opt;
+  opt.proto = Protocol::kPhost;
+  opt.pairs = 2;
+  opt.queues.buffer_pkts = 8;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 1'000'000);  // finishes around ~1.7ms at half share
+  rig.start_flow(2, 1, 6'000'000);
+  ASSERT_TRUE(rig.run_to_completion(2, 1_s));
+  const auto f2 = rig.recorder().record_of(2);
+  ASSERT_TRUE(f2.has_value());
+  // If f2 could re-accelerate to 10G after f1 left (~1.7ms), it would finish
+  // near ~5.3ms. Arrival-clocked it stays near its collapsed share and needs
+  // much longer.
+  EXPECT_GT(f2->fct().to_millis(), 6.5);
+}
+
+// ---------------------------------------------------------------------------
+// Homa
+// ---------------------------------------------------------------------------
+
+TEST(HomaBehavior, OvercommitGrantsMultipleSenders) {
+  // With K=2, two of three pending messages are granted concurrently; with
+  // K=1 they serialize. Compare total completion times.
+  auto run_k = [](int k) {
+    RigOptions opt;
+    opt.proto = Protocol::kHoma;
+    opt.pairs = 3;
+    opt.unscheduled = false;
+    opt.homa_overcommit = k;
+    DumbbellRig rig{opt};
+    for (int i = 0; i < 3; ++i) {
+      transport::FlowSpec spec{static_cast<net::FlowId>(i + 1), rig.sender(i).id(),
+                               rig.receiver(0).id(), 1'000'000, sim::TimePoint::zero()};
+      rig.sender_ep(i).start_flow(spec);
+    }
+    EXPECT_TRUE(rig.run_to_completion(3, 1_s));
+    double last = 0;
+    for (const auto& r : rig.recorder().completed()) last = std::max(last, r.fct().to_millis());
+    return last;
+  };
+  const double k1 = run_k(1);
+  const double k3 = run_k(3);
+  // All three share one downlink, so overcommitment cannot beat the
+  // serialization bound by much — but it must not be slower, and queue-level
+  // pipelining should make it at least marginally faster.
+  EXPECT_LE(k3, k1 * 1.05);
+}
+
+TEST(HomaBehavior, ScheduledDataCarriesPriorities) {
+  RigOptions opt;
+  opt.proto = Protocol::kHoma;
+  opt.pairs = 2;
+  opt.unscheduled = false;
+  DumbbellRig rig{opt};
+  // Two messages to one receiver: rank 1 and rank 2 -> priorities 1 and 2.
+  transport::FlowSpec a{1, rig.sender(0).id(), rig.receiver(0).id(), 2'000'000,
+                        sim::TimePoint::zero()};
+  transport::FlowSpec b{2, rig.sender(1).id(), rig.receiver(0).id(), 500'000,
+                        sim::TimePoint::zero()};
+  rig.sender_ep(0).start_flow(a);
+  rig.sender_ep(1).start_flow(b);
+  ASSERT_TRUE(rig.run_to_completion(2, 1_s));
+  // The smaller message is SRPT-preferred: it must finish well before the
+  // larger despite starting together (priority queueing + grant priority).
+  EXPECT_LT(rig.recorder().record_of(2)->end, rig.recorder().record_of(1)->end);
+}
+
+// ---------------------------------------------------------------------------
+// NDP
+// ---------------------------------------------------------------------------
+
+TEST(NdpBehavior, PullPacingMatchesLinkRate) {
+  RigOptions opt;
+  opt.proto = Protocol::kNdp;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 3'000'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 200_ms));
+  // Pull-clocked at the link rate, a 3MB flow must complete near line rate.
+  EXPECT_LT(rig.recorder().completed().at(0).fct().to_micros(), 2'466 * 1.4);
+}
+
+TEST(NdpBehavior, TrimmedHeadersTriggerFastRetransmit) {
+  RigOptions opt;
+  opt.proto = Protocol::kNdp;
+  opt.pairs = 2;
+  opt.queues.trim_threshold = 4;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 500'000);
+  rig.start_flow(2, 1, 500'000);
+  ASSERT_TRUE(rig.run_to_completion(2, 500_ms));
+  // Trim-based repair is one-RTT-ish: even with heavy trimming the makespan
+  // must stay near the serialization bound (1MB over 10G ~ 0.85ms), far from
+  // a timeout-dominated schedule.
+  double last = 0;
+  for (const auto& r : rig.recorder().completed()) last = std::max(last, r.fct().to_millis());
+  EXPECT_LT(last, 3.0);
+}

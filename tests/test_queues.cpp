@@ -1,0 +1,168 @@
+// Unit tests for egress queue disciplines (src/net/queue.hpp).
+#include <gtest/gtest.h>
+
+#include "net/queue.hpp"
+
+using namespace amrt::net;
+
+namespace {
+Packet data_pkt(std::uint32_t seq, std::uint8_t prio = 0) {
+  Packet p;
+  p.flow = 1;
+  p.seq = seq;
+  p.type = PacketType::kData;
+  p.payload_bytes = kMssBytes;
+  p.wire_bytes = kMtuBytes;
+  p.priority = prio;
+  return p;
+}
+
+Packet grant_pkt(std::uint32_t seq) {
+  Packet p;
+  p.flow = 1;
+  p.seq = seq;
+  p.type = PacketType::kGrant;
+  p.wire_bytes = kCtrlBytes;
+  return p;
+}
+}  // namespace
+
+TEST(DropTail, FifoOrder) {
+  DropTailQueue q{8};
+  for (std::uint32_t i = 0; i < 4; ++i) q.enqueue(data_pkt(i));
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTail, DropsBeyondCapacity) {
+  DropTailQueue q{2};
+  for (std::uint32_t i = 0; i < 5; ++i) q.enqueue(data_pkt(i));
+  EXPECT_EQ(q.data_pkts(), 2u);
+  EXPECT_EQ(q.stats().dropped, 3u);
+  EXPECT_EQ(q.stats().enqueued, 5u);
+}
+
+TEST(DropTail, ControlBandBypassesCapacity) {
+  DropTailQueue q{1};
+  q.enqueue(data_pkt(0));
+  q.enqueue(data_pkt(1));  // dropped
+  for (std::uint32_t i = 0; i < 10; ++i) q.enqueue(grant_pkt(i));
+  EXPECT_EQ(q.control_pkts(), 10u);
+  EXPECT_EQ(q.stats().dropped, 1u);  // only the data packet
+}
+
+TEST(DropTail, ControlDequeuedBeforeData) {
+  DropTailQueue q{8};
+  q.enqueue(data_pkt(0));
+  q.enqueue(grant_pkt(100));
+  auto first = q.dequeue();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, PacketType::kGrant);
+  auto second = q.dequeue();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, PacketType::kData);
+}
+
+TEST(DropTail, HighWaterMarkTracksPeak) {
+  DropTailQueue q{8};
+  for (std::uint32_t i = 0; i < 5; ++i) q.enqueue(data_pkt(i));
+  (void)q.dequeue();
+  (void)q.dequeue();
+  q.enqueue(data_pkt(9));
+  EXPECT_EQ(q.stats().max_data_pkts, 5u);
+}
+
+TEST(DropTail, ByteAccounting) {
+  DropTailQueue q{8};
+  q.enqueue(data_pkt(0));
+  q.enqueue(data_pkt(1));
+  EXPECT_EQ(q.stats().data_bytes_in, 2ull * kMtuBytes);
+}
+
+TEST(Trimming, TrimsBeyondThreshold) {
+  TrimmingQueue q{2};
+  for (std::uint32_t i = 0; i < 5; ++i) q.enqueue(data_pkt(i));
+  EXPECT_EQ(q.data_pkts(), 2u);
+  EXPECT_EQ(q.stats().trimmed, 3u);
+  EXPECT_EQ(q.stats().dropped, 0u);  // NDP never drops data, it trims
+  EXPECT_EQ(q.control_pkts(), 3u);
+}
+
+TEST(Trimming, TrimmedHeaderKeepsIdentityLosesPayload) {
+  TrimmingQueue q{0};  // everything trims
+  q.enqueue(data_pkt(7));
+  auto p = q.dequeue();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->trimmed);
+  EXPECT_EQ(p->seq, 7u);
+  EXPECT_EQ(p->payload_bytes, 0u);
+  EXPECT_EQ(p->wire_bytes, kCtrlBytes);
+  EXPECT_EQ(p->type, PacketType::kData);
+}
+
+TEST(Trimming, TrimmedHeadersJumpTheDataQueue) {
+  TrimmingQueue q{1};
+  q.enqueue(data_pkt(0));
+  q.enqueue(data_pkt(1));  // trimmed
+  auto first = q.dequeue();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->trimmed);
+  EXPECT_EQ(first->seq, 1u);
+}
+
+TEST(Priority, StrictOrderingAcrossBands) {
+  StrictPriorityQueue q{8, 64};
+  q.enqueue(data_pkt(0, 5));
+  q.enqueue(data_pkt(1, 1));
+  q.enqueue(data_pkt(2, 3));
+  EXPECT_EQ(q.dequeue()->priority, 1);
+  EXPECT_EQ(q.dequeue()->priority, 3);
+  EXPECT_EQ(q.dequeue()->priority, 5);
+}
+
+TEST(Priority, FifoWithinBand) {
+  StrictPriorityQueue q{8, 64};
+  q.enqueue(data_pkt(0, 2));
+  q.enqueue(data_pkt(1, 2));
+  EXPECT_EQ(q.dequeue()->seq, 0u);
+  EXPECT_EQ(q.dequeue()->seq, 1u);
+}
+
+TEST(Priority, SharedCapacityAcrossBands) {
+  StrictPriorityQueue q{8, 3};
+  q.enqueue(data_pkt(0, 0));
+  q.enqueue(data_pkt(1, 7));
+  q.enqueue(data_pkt(2, 3));
+  q.enqueue(data_pkt(3, 0));  // over capacity
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.data_pkts(), 3u);
+}
+
+TEST(Priority, OutOfRangePriorityClampsToLastBand) {
+  StrictPriorityQueue q{4, 64};
+  q.enqueue(data_pkt(0, 200));
+  auto p = q.dequeue();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->seq, 0u);
+}
+
+TEST(Priority, ControlStillBeatsPriorityZero) {
+  StrictPriorityQueue q{8, 64};
+  q.enqueue(data_pkt(0, 0));
+  q.enqueue(grant_pkt(9));
+  EXPECT_EQ(q.dequeue()->type, PacketType::kGrant);
+}
+
+TEST(Queues, DequeueCountsInStats) {
+  DropTailQueue q{8};
+  q.enqueue(data_pkt(0));
+  q.enqueue(grant_pkt(1));
+  (void)q.dequeue();
+  (void)q.dequeue();
+  EXPECT_EQ(q.stats().dequeued, 2u);
+  EXPECT_TRUE(q.empty());
+}

@@ -1,0 +1,131 @@
+// Shared test fixture: a tiny dumbbell network (N sender hosts and N
+// receiver hosts around one switch pair) with per-protocol endpoints, so
+// transport tests can push real flows end-to-end in a few lines.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "net/monitor.hpp"
+#include "net/topology.hpp"
+#include "stats/fct.hpp"
+
+namespace amrt::testutil {
+
+struct RigOptions {
+  transport::Protocol proto = transport::Protocol::kAmrt;
+  int pairs = 1;  // sender/receiver host pairs
+  sim::Bandwidth rate = sim::Bandwidth::gbps(10);
+  sim::Duration delay = sim::Duration::microseconds(5);
+  core::QueueConfig queues{};
+  bool unscheduled = true;
+  bool responsive = true;
+  sim::Duration loss_timeout = sim::Duration::zero();
+  int homa_overcommit = 2;
+};
+
+// senders[i] -> S0 -> S1 -> receivers[i]; the S0->S1 link is the bottleneck.
+class DumbbellRig {
+ public:
+  explicit DumbbellRig(const RigOptions& opt) : opt_{opt}, network_{sched_} {
+    const auto base_rtt = net::path_base_rtt(3, opt.rate, opt.delay);
+    recorder_ = std::make_unique<stats::FctRecorder>(opt.rate, base_rtt);
+
+    auto qf = core::make_queue_factory(opt.proto, opt.queues);
+    auto mf = core::make_marker_factory(opt.proto);
+    auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
+
+    s0_ = &network_.add_switch("S0");
+    s1_ = &network_.add_switch("S1");
+    bottleneck_ = &network_.add_switch_port(*s0_, *s1_, opt.rate, opt.delay, qf(false), marker());
+    network_.add_switch_port(*s1_, *s0_, opt.rate, opt.delay, qf(false), marker());
+
+    transport::TransportConfig tcfg;
+    tcfg.host_rate = opt.rate;
+    tcfg.base_rtt = base_rtt;
+    tcfg.unscheduled_start = opt.unscheduled;
+    tcfg.responsive = opt.responsive;
+    tcfg.loss_timeout = opt.loss_timeout;
+    tcfg.homa_overcommit = opt.homa_overcommit;
+    tcfg_ = tcfg;
+
+    for (int i = 0; i < opt.pairs; ++i) {
+      auto& src = network_.add_host("src" + std::to_string(i), opt.rate, opt.delay,
+                                    std::make_unique<net::DropTailQueue>(opt.queues.host_nic_pkts));
+      auto& dst = network_.add_host("dst" + std::to_string(i), opt.rate, opt.delay,
+                                    std::make_unique<net::DropTailQueue>(opt.queues.host_nic_pkts));
+      const int src_down = network_.attach_host(src, *s0_, qf(false), marker());
+      const int dst_down = network_.attach_host(dst, *s1_, qf(false), marker());
+      s0_->routes().add_route(src.id(), src_down);
+      s1_->routes().add_route(dst.id(), dst_down);
+      s0_->routes().add_route(dst.id(), 0);  // via bottleneck
+      s1_->routes().add_route(src.id(), 0);  // reverse path
+      senders_.push_back(&src);
+      receivers_.push_back(&dst);
+
+      auto sep = core::make_endpoint(opt.proto, sched_, src, tcfg, recorder_.get());
+      sender_eps_.push_back(static_cast<transport::ReceiverDrivenEndpoint*>(sep.get()));
+      src.attach(std::move(sep));
+      auto rep = core::make_endpoint(opt.proto, sched_, dst, tcfg, recorder_.get());
+      receiver_eps_.push_back(static_cast<transport::ReceiverDrivenEndpoint*>(rep.get()));
+      dst.attach(std::move(rep));
+    }
+  }
+
+  // Starts `bytes` from pair i's sender to pair i's receiver at `at`.
+  void start_flow(net::FlowId id, int pair, std::uint64_t bytes,
+                  sim::TimePoint at = sim::TimePoint::zero()) {
+    transport::FlowSpec spec{id, senders_[pair]->id(), receivers_[pair]->id(), bytes, at};
+    auto* ep = sender_eps_[pair];
+    sched_.at(at, [ep, spec] { ep->start_flow(spec); });
+  }
+
+  // Runs until all of `expected` flows complete or `deadline` passes;
+  // returns true if everything completed.
+  bool run_to_completion(std::size_t expected, sim::Duration deadline) {
+    poll_ = [this, expected] {
+      if (recorder_->completed().size() >= expected) {
+        sched_.stop();
+        return;
+      }
+      sched_.after(sim::Duration::microseconds(50), poll_);
+    };
+    sched_.after(sim::Duration::microseconds(50), poll_);
+    sched_.run_until(sim::TimePoint::zero() + deadline);
+    return recorder_->completed().size() >= expected;
+  }
+
+  sim::Scheduler& sched() { return sched_; }
+  net::Network& network() { return network_; }
+  stats::FctRecorder& recorder() { return *recorder_; }
+  net::EgressPort& bottleneck() { return *bottleneck_; }
+  net::Switch& s0() { return *s0_; }
+  net::Switch& s1() { return *s1_; }
+  net::Host& sender(int i) { return *senders_[i]; }
+  net::Host& receiver(int i) { return *receivers_[i]; }
+  transport::ReceiverDrivenEndpoint& sender_ep(int i) { return *sender_eps_[i]; }
+  transport::ReceiverDrivenEndpoint& receiver_ep(int i) { return *receiver_eps_[i]; }
+  const transport::TransportConfig& tcfg() const { return tcfg_; }
+
+ private:
+  RigOptions opt_;
+  sim::Scheduler sched_;
+  net::Network network_;
+  std::unique_ptr<stats::FctRecorder> recorder_;
+  net::Switch* s0_ = nullptr;
+  net::Switch* s1_ = nullptr;
+  net::EgressPort* bottleneck_ = nullptr;
+  std::vector<net::Host*> senders_;
+  std::vector<net::Host*> receivers_;
+  std::vector<transport::ReceiverDrivenEndpoint*> sender_eps_;
+  std::vector<transport::ReceiverDrivenEndpoint*> receiver_eps_;
+  transport::TransportConfig tcfg_;
+  std::function<void()> poll_;
+};
+
+inline constexpr transport::Protocol kAllProtocols[] = {
+    transport::Protocol::kAmrt, transport::Protocol::kPhost, transport::Protocol::kHoma,
+    transport::Protocol::kNdp};
+
+}  // namespace amrt::testutil

@@ -1,0 +1,78 @@
+// Unit tests for the seeded random façade (src/sim/rng.hpp).
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+using amrt::sim::Rng;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r{7};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r{11};
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.2);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r{13};
+  int hits = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.03);
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng r{17};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[r.index(4)];
+  for (int c : counts) EXPECT_GT(c, 800);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a{99};
+  Rng fork1 = a.fork();
+  Rng b{99};
+  Rng fork2 = b.fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fork1.uniform_int(0, 1000), fork2.uniform_int(0, 1000));
+  }
+}

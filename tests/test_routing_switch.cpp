@@ -1,0 +1,94 @@
+// Unit tests for routing tables, ECMP and switch forwarding.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/switch.hpp"
+#include "net/topology.hpp"
+
+using namespace amrt::net;
+using namespace amrt::sim;
+using namespace amrt::sim::literals;
+
+namespace {
+Packet to_dst(NodeId dst, FlowId flow = 1) {
+  Packet p;
+  p.flow = flow;
+  p.dst = dst;
+  p.type = PacketType::kData;
+  p.wire_bytes = kMtuBytes;
+  return p;
+}
+}  // namespace
+
+TEST(RoutingTable, SinglePathSelected) {
+  RoutingTable rt;
+  rt.add_route(NodeId{5}, 2);
+  EXPECT_EQ(rt.select(to_dst(NodeId{5})), 2);
+}
+
+TEST(RoutingTable, UnknownDestinationThrows) {
+  RoutingTable rt;
+  EXPECT_THROW((void)rt.select(to_dst(NodeId{9})), std::out_of_range);
+}
+
+TEST(RoutingTable, EcmpIsPerFlowDeterministic) {
+  RoutingTable rt;
+  for (int p = 0; p < 4; ++p) rt.add_route(NodeId{1}, p);
+  for (FlowId f = 1; f < 50; ++f) {
+    const int first = rt.select(to_dst(NodeId{1}, f));
+    for (int rep = 0; rep < 5; ++rep) {
+      EXPECT_EQ(rt.select(to_dst(NodeId{1}, f)), first) << "flow must stay on one path";
+    }
+  }
+}
+
+TEST(RoutingTable, EcmpSpreadsFlows) {
+  RoutingTable rt;
+  for (int p = 0; p < 4; ++p) rt.add_route(NodeId{1}, p);
+  std::set<int> used;
+  for (FlowId f = 1; f < 100; ++f) used.insert(rt.select(to_dst(NodeId{1}, f)));
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(RoutingTable, PortsForExposesEcmpSet) {
+  RoutingTable rt;
+  rt.add_route(NodeId{1}, 0);
+  rt.add_route(NodeId{1}, 3);
+  EXPECT_EQ(rt.ports_for(NodeId{1}).size(), 2u);
+  EXPECT_EQ(rt.destinations(), 1u);
+}
+
+TEST(EcmpHash, DistinctForConsecutiveFlows) {
+  std::set<std::uint64_t> hashes;
+  for (FlowId f = 0; f < 1000; ++f) hashes.insert(ecmp_hash(f));
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions on a small range
+}
+
+TEST(Switch, ForwardsToRoutedPort) {
+  Scheduler sched;
+  Network net{sched};
+  auto& sw = net.add_switch("sw");
+  auto& h0 = net.add_host("h0", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(64));
+  auto& h1 = net.add_host("h1", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(64));
+  net.attach_host(h0, sw, std::make_unique<DropTailQueue>(64));
+  net.attach_host(h1, sw, std::make_unique<DropTailQueue>(64));
+  sw.routes().add_route(h0.id(), 0);
+  sw.routes().add_route(h1.id(), 1);
+
+  sw.handle_packet(to_dst(h1.id()), 0);
+  sched.run();
+  EXPECT_EQ(h1.bytes_received(), kMtuBytes);
+  EXPECT_EQ(h0.bytes_received(), 0u);
+}
+
+TEST(Switch, PortAccessorsAndCount) {
+  Scheduler sched;
+  Network net{sched};
+  auto& sw = net.add_switch("sw");
+  EXPECT_EQ(sw.port_count(), 0);
+  auto& a = net.add_switch("a");
+  net.add_switch_port(sw, a, Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(8));
+  EXPECT_EQ(sw.port_count(), 1);
+  EXPECT_EQ(sw.port(0).config().rate, Bandwidth::gbps(10));
+}

@@ -1,0 +1,203 @@
+// Tests of the harness scenarios behind the paper's figures — including the
+// headline qualitative claims (AMRT refills spare bandwidth, baselines
+// don't).
+#include <gtest/gtest.h>
+
+#include "harness/scenarios.hpp"
+
+using namespace amrt;
+using namespace amrt::sim::literals;
+using harness::ChainConfig;
+using harness::ChainFlow;
+using harness::ChainPath;
+using harness::DynamicConfig;
+using harness::DynamicFlow;
+using transport::Protocol;
+
+namespace {
+DynamicConfig dynamic_cfg(Protocol proto) {
+  DynamicConfig cfg;
+  cfg.proto = proto;
+  cfg.flows = {DynamicFlow{1'500'000, sim::Duration::zero()},
+               DynamicFlow{8'000'000, sim::Duration::zero()}};
+  cfg.duration = 12_ms;
+  cfg.bin = 250_us;
+  return cfg;
+}
+
+double mean_between(const harness::TimelineResult& r, double from_ms, double to_ms) {
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t b = 0; b < r.bottleneck1_util.size(); ++b) {
+    const double t = static_cast<double>(b) * r.bin.to_millis();
+    if (t >= from_ms && t < to_ms) {
+      sum += r.bottleneck1_util[b];
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+}  // namespace
+
+TEST(DynamicScenario, HeadlineClaimAmrtRefillsPhostDoesNot) {
+  // After the short flow completes (~2.5ms), the bottleneck's remaining
+  // utilization separates the protocols: AMRT climbs back toward 100%,
+  // pHost stays at the survivor's collapsed share. Compare over a window
+  // where AMRT's large flow is still running (it finishes *earlier*, which
+  // would otherwise depress its own tail-average with idle bins).
+  const auto phost = harness::run_dynamic(dynamic_cfg(Protocol::kPhost));
+  const auto amrt = harness::run_dynamic(dynamic_cfg(Protocol::kAmrt));
+  ASSERT_GE(amrt.flow_fct_ms[1], 0.0);
+  const double window_end = amrt.flow_fct_ms[1];
+  ASSERT_GT(window_end, 4.5);
+  const double phost_tail = mean_between(phost, 4.0, window_end);
+  const double amrt_tail = mean_between(amrt, 4.0, window_end);
+  EXPECT_GT(amrt_tail, 0.85) << "marking must drive the survivor near line rate";
+  EXPECT_GT(amrt_tail, phost_tail + 0.05)
+      << "AMRT tail util " << amrt_tail << " vs pHost " << phost_tail;
+}
+
+TEST(DynamicScenario, AmrtShortensLargeFlowFct) {
+  const auto phost = harness::run_dynamic(dynamic_cfg(Protocol::kPhost));
+  const auto amrt = harness::run_dynamic(dynamic_cfg(Protocol::kAmrt));
+  ASSERT_GE(amrt.flow_fct_ms[1], 0.0) << "AMRT's large flow must finish within the window";
+  if (phost.flow_fct_ms[1] >= 0) {
+    EXPECT_LT(amrt.flow_fct_ms[1], phost.flow_fct_ms[1]);
+  }
+}
+
+TEST(DynamicScenario, UtilizationBounded) {
+  for (auto proto : {Protocol::kPhost, Protocol::kHoma, Protocol::kNdp, Protocol::kAmrt}) {
+    const auto r = harness::run_dynamic(dynamic_cfg(proto));
+    for (double u : r.bottleneck1_util) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 1.0);
+    }
+  }
+}
+
+TEST(ChainScenario, AmrtLetsCoFlowGrabReleasedBandwidth) {
+  // Fig. 1/11 shape: f1 (both bottlenecks) is squeezed by f3 on the second
+  // bottleneck; only AMRT lets f2 climb above its initial half share.
+  auto make = [](Protocol proto) {
+    ChainConfig cfg;
+    cfg.proto = proto;
+    cfg.flows = {ChainFlow{ChainPath::kBoth, 8'000'000, sim::Duration::zero()},
+                 ChainFlow{ChainPath::kFirst, 8'000'000, sim::Duration::zero()},
+                 ChainFlow{ChainPath::kSecond, 6'000'000, 1_ms}};
+    cfg.duration = 8_ms;
+    cfg.bin = 250_us;
+    return cfg;
+  };
+  const auto phost = harness::run_chain(make(Protocol::kPhost));
+  const auto amrt = harness::run_chain(make(Protocol::kAmrt));
+  // Mean f2 throughput between 2ms and 6ms.
+  auto f2_mean = [](const harness::TimelineResult& r) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::size_t b = 8; b < 24 && b < r.flow_gbps[1].size(); ++b) {
+      sum += r.flow_gbps[1][b];
+      ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  };
+  EXPECT_GT(f2_mean(amrt), f2_mean(phost) + 1.0)
+      << "AMRT f2 " << f2_mean(amrt) << " Gbps vs pHost " << f2_mean(phost);
+}
+
+TEST(ChainScenario, BothBottlenecksMonitored) {
+  ChainConfig cfg;
+  cfg.flows = {ChainFlow{ChainPath::kBoth, 1'000'000, sim::Duration::zero()}};
+  cfg.duration = 3_ms;
+  const auto r = harness::run_chain(cfg);
+  EXPECT_FALSE(r.bottleneck1_util.empty());
+  EXPECT_FALSE(r.bottleneck2_util.empty());
+  EXPECT_GT(r.mean_util_b1, 0.0);
+  EXPECT_GT(r.mean_util_b2, 0.0);
+}
+
+TEST(ManyToMany, FullyResponsiveBeatsFullyUnresponsive) {
+  harness::ManyToManyConfig cfg;
+  cfg.proto = Protocol::kAmrt;
+  cfg.senders_per_leaf = 4;
+  cfg.flow_bytes = 2'000'000;
+  cfg.duration = 10_ms;
+  cfg.responsive_ratio = 1.0;
+  const auto full = harness::run_many_to_many(cfg);
+  cfg.responsive_ratio = 0.0;
+  const auto none = harness::run_many_to_many(cfg);
+  EXPECT_EQ(none.responsive_senders, 0u);
+  EXPECT_EQ(full.responsive_senders, 8u);
+  EXPECT_GT(full.mean_downlink_util, 0.5);
+  EXPECT_LT(none.mean_downlink_util, 0.05);
+}
+
+TEST(ManyToMany, HomaOvercommitRaisesUtilizationAndQueue) {
+  auto run = [](int k) {
+    harness::ManyToManyConfig cfg;
+    cfg.proto = Protocol::kHoma;
+    cfg.senders_per_leaf = 6;
+    cfg.homa_overcommit = k;
+    cfg.responsive_ratio = 0.4;
+    cfg.flow_bytes = 3'000'000;
+    cfg.duration = 10_ms;
+    double util = 0, queue = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      cfg.seed = seed;
+      const auto r = harness::run_many_to_many(cfg);
+      util += r.mean_downlink_util;
+      queue += static_cast<double>(r.max_queue_pkts);
+    }
+    return std::pair{util / 5, queue / 5};
+  };
+  const auto [u2, q2] = run(2);
+  const auto [u8, q8] = run(8);
+  EXPECT_GT(u8, u2) << "more overcommitment must raise utilization with unresponsive senders";
+  EXPECT_GE(q8, q2) << "and it costs queueing";
+}
+
+TEST(ManyToMany, AmrtHighUtilizationSmallQueue) {
+  harness::ManyToManyConfig homa_cfg;
+  homa_cfg.proto = Protocol::kHoma;
+  homa_cfg.senders_per_leaf = 6;
+  homa_cfg.homa_overcommit = 8;
+  homa_cfg.responsive_ratio = 0.6;
+  homa_cfg.flow_bytes = 3'000'000;
+  homa_cfg.duration = 10_ms;
+  auto amrt_cfg = homa_cfg;
+  amrt_cfg.proto = Protocol::kAmrt;
+  double homa_q = 0, amrt_q = 0, amrt_u = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    homa_cfg.seed = amrt_cfg.seed = seed;
+    homa_q += static_cast<double>(harness::run_many_to_many(homa_cfg).max_queue_pkts);
+    const auto a = harness::run_many_to_many(amrt_cfg);
+    amrt_q += static_cast<double>(a.max_queue_pkts);
+    amrt_u += a.mean_downlink_util;
+  }
+  EXPECT_GT(amrt_u / 5, 0.5);
+  EXPECT_LT(amrt_q, homa_q) << "AMRT must not pay Homa's overcommitment queue";
+}
+
+TEST(Incast, AllProtocolsComplete) {
+  for (auto proto : {Protocol::kPhost, Protocol::kHoma, Protocol::kNdp, Protocol::kAmrt}) {
+    harness::IncastConfig cfg;
+    cfg.proto = proto;
+    cfg.senders = 16;
+    cfg.bytes_per_sender = 30'000;
+    cfg.queues.buffer_pkts = 8;
+    cfg.queues.trim_threshold = 8;
+    const auto r = harness::run_incast(cfg);
+    EXPECT_EQ(r.fct.completed, 16u) << transport::to_string(proto);
+    EXPECT_GT(r.goodput_gbps, 1.0) << transport::to_string(proto);
+  }
+}
+
+TEST(Incast, QueueRespectsConfiguredCap) {
+  harness::IncastConfig cfg;
+  cfg.proto = Protocol::kAmrt;
+  cfg.senders = 24;
+  cfg.queues.buffer_pkts = 8;
+  const auto r = harness::run_incast(cfg);
+  EXPECT_LE(r.max_queue_pkts, 8u);
+  EXPECT_GT(r.drops, 0u);  // the collision must actually have happened
+}

@@ -1,0 +1,111 @@
+// Unit tests for the discrete-event scheduler (src/sim/scheduler.hpp).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+using namespace amrt::sim;
+using namespace amrt::sim::literals;
+
+TEST(Scheduler, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), TimePoint::zero());
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Scheduler, CallbackObservesItsOwnFiringTime) {
+  Scheduler s;
+  TimePoint seen;
+  (void)s.after(10_us, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, TimePoint::zero() + 10_us);
+  EXPECT_EQ(s.now(), TimePoint::zero() + 10_us);
+}
+
+TEST(Scheduler, NestedSchedulingRunsInOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  (void)s.after(1_us, [&] {
+    order.push_back(1);
+    (void)s.after(1_us, [&] { order.push_back(3); });
+    (void)s.after(Duration::zero(), [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Scheduler s;
+  int fired = 0;
+  (void)s.after(10_us, [&] { ++fired; });
+  (void)s.after(30_us, [&] { ++fired; });
+  s.run_until(TimePoint::zero() + 20_us);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), TimePoint::zero() + 20_us);
+  s.run();  // the 30us event is still there
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, RunUntilIncludesEventsAtHorizon) {
+  Scheduler s;
+  int fired = 0;
+  (void)s.after(20_us, [&] { ++fired; });
+  s.run_until(TimePoint::zero() + 20_us);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, StopBreaksTheLoop) {
+  Scheduler s;
+  int fired = 0;
+  (void)s.after(1_us, [&] {
+    ++fired;
+    s.stop();
+  });
+  (void)s.after(2_us, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();  // resumable after stop
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, CancelViaHandle) {
+  Scheduler s;
+  int fired = 0;
+  auto h = s.after(5_us, [&] { ++fired; });
+  h.cancel();
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, SchedulingIntoThePastThrows) {
+  Scheduler s;
+  (void)s.after(10_us, [] {});
+  s.run();
+  EXPECT_THROW((void)s.at(TimePoint::zero() + 5_us, [] {}), std::logic_error);
+  EXPECT_THROW((void)s.after(Duration::nanoseconds(-1), [] {}), std::logic_error);
+}
+
+TEST(Scheduler, EventLimitGuardsRunaways) {
+  Scheduler s;
+  s.set_event_limit(100);
+  std::function<void()> loop = [&] { (void)s.after(1_ns, loop); };  // would never end
+  (void)s.after(1_ns, loop);
+  s.run();
+  EXPECT_EQ(s.events_processed(), 100u);
+}
+
+TEST(Scheduler, ProcessedCountsOnlyFiredEvents) {
+  Scheduler s;
+  (void)s.after(1_us, [] {});
+  auto h = s.after(2_us, [] {});
+  h.cancel();
+  s.run();
+  EXPECT_EQ(s.events_processed(), 1u);
+}
+
+TEST(Scheduler, RunUntilWithEmptyQueueStillAdvances) {
+  Scheduler s;
+  s.run_until(TimePoint::zero() + 1_ms);
+  EXPECT_EQ(s.now(), TimePoint::zero() + 1_ms);
+}

@@ -1,0 +1,169 @@
+// Unit tests for the metrics library (src/stats/).
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "stats/fct.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+
+using namespace amrt::stats;
+using namespace amrt::sim;
+using namespace amrt::sim::literals;
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, MomentsMatchHandComputation) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, BasicQuantiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 100.0);
+  EXPECT_NEAR(percentile(xs, 0.5), 50.0, 1.0);
+  EXPECT_NEAR(percentile(xs, 0.99), 99.0, 1.0);
+}
+
+TEST(Percentile, EmptyAndClamped) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 2.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, -1.0), 7.0);
+}
+
+namespace {
+FctRecorder make_recorder() {
+  return FctRecorder{Bandwidth::gbps(10), 100_us};
+}
+}  // namespace
+
+TEST(FctRecorder, RecordsLifecycle) {
+  auto r = make_recorder();
+  r.on_flow_started(1, 100'000, TimePoint::zero());
+  r.on_flow_progress(1, 100'000, TimePoint::zero() + 50_us);
+  r.on_flow_completed(1, TimePoint::zero() + 200_us);
+  ASSERT_EQ(r.completed().size(), 1u);
+  EXPECT_EQ(r.completed()[0].fct(), 200_us);
+  EXPECT_EQ(r.bytes_delivered(), 100'000u);
+  EXPECT_EQ(r.incomplete_count(), 0u);
+}
+
+TEST(FctRecorder, SummaryStatistics) {
+  auto r = make_recorder();
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    r.on_flow_started(i, 10'000, TimePoint::zero());
+    r.on_flow_completed(i, TimePoint::zero() + Duration::microseconds(static_cast<std::int64_t>(i * 100)));
+  }
+  const auto s = r.summarize();
+  EXPECT_EQ(s.completed, 10u);
+  EXPECT_DOUBLE_EQ(s.afct_us, 550.0);
+  EXPECT_NEAR(s.p99_us, 1000.0, 101.0);
+  EXPECT_DOUBLE_EQ(s.max_fct_us, 1000.0);
+}
+
+TEST(FctRecorder, SizeBucketedSummaries) {
+  auto r = make_recorder();
+  r.on_flow_started(1, 10'000, TimePoint::zero());      // small
+  r.on_flow_completed(1, TimePoint::zero() + 100_us);
+  r.on_flow_started(2, 5'000'000, TimePoint::zero());   // large
+  r.on_flow_completed(2, TimePoint::zero() + 5_ms);
+  EXPECT_EQ(r.summarize(0, 100'000).completed, 1u);
+  EXPECT_EQ(r.summarize(1'000'000, UINT64_MAX).completed, 1u);
+  EXPECT_DOUBLE_EQ(r.summarize(0, 100'000).afct_us, 100.0);
+}
+
+TEST(FctRecorder, SlowdownRelativeToIdeal) {
+  auto r = make_recorder();
+  // 1460B flow: ideal = tx(1500)/10G + 100us rtt = 1.2 + 100 = 101.2us.
+  r.on_flow_started(1, 1460, TimePoint::zero());
+  r.on_flow_completed(1, TimePoint::zero() + Duration::nanoseconds(101'200 * 2));
+  EXPECT_NEAR(r.summarize().mean_slowdown, 2.0, 0.01);
+}
+
+TEST(FctRecorder, UnknownCompletionIgnored) {
+  auto r = make_recorder();
+  r.on_flow_completed(99, TimePoint::zero());
+  EXPECT_EQ(r.completed().size(), 0u);
+}
+
+TEST(FctRecorder, RecordOfFindsOpenAndClosed) {
+  auto r = make_recorder();
+  r.on_flow_started(1, 100, TimePoint::zero());
+  ASSERT_TRUE(r.record_of(1).has_value());
+  EXPECT_FALSE(r.record_of(2).has_value());
+  r.on_flow_completed(1, TimePoint::zero() + 1_us);
+  ASSERT_TRUE(r.record_of(1).has_value());
+}
+
+TEST(FctRecorder, ProgressHookFires) {
+  auto r = make_recorder();
+  std::uint64_t hooked = 0;
+  r.set_progress_hook([&](std::uint64_t, std::uint64_t delta, TimePoint) { hooked += delta; });
+  r.on_flow_started(1, 100, TimePoint::zero());
+  r.on_flow_progress(1, 60, TimePoint::zero());
+  r.on_flow_progress(1, 40, TimePoint::zero());
+  EXPECT_EQ(hooked, 100u);
+}
+
+TEST(BinnedSeries, AccumulatesIntoCorrectBins) {
+  BinnedSeries s{100_us};
+  s.add(TimePoint::zero() + 50_us, 10.0);
+  s.add(TimePoint::zero() + 150_us, 20.0);
+  s.add(TimePoint::zero() + 160_us, 5.0);
+  ASSERT_EQ(s.bins(), 2u);
+  EXPECT_DOUBLE_EQ(s.sum_at(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.sum_at(1), 25.0);
+  EXPECT_DOUBLE_EQ(s.sum_at(7), 0.0);
+}
+
+TEST(BinnedSeries, RatesDivideByWidth) {
+  BinnedSeries s{100_us};
+  s.add(TimePoint::zero(), 1e-4);  // 1e-4 units per 100us = 1 unit/sec
+  const auto rates = s.rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_NEAR(rates[0], 1.0, 1e-9);
+}
+
+TEST(BinnedSeries, BinStartTimes) {
+  BinnedSeries s{250_us};
+  EXPECT_EQ(s.bin_start(0), TimePoint::zero());
+  EXPECT_EQ(s.bin_start(4), TimePoint::zero() + 1_ms);
+}
+
+TEST(FlowThroughputTracker, PerFlowGbps) {
+  FlowThroughputTracker t{1_ms};
+  // 1.25MB in 1ms = 10 Gbps.
+  t.record(1, 1'250'000, TimePoint::zero() + 500_us);
+  const auto g = t.gbps(1);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_NEAR(g[0], 10.0, 0.01);
+  EXPECT_TRUE(t.gbps(2).empty());
+}
+
+TEST(FlowThroughputTracker, TotalSumsFlows) {
+  FlowThroughputTracker t{1_ms};
+  t.record(1, 625'000, TimePoint::zero());
+  t.record(2, 625'000, TimePoint::zero());
+  const auto total = t.total_gbps();
+  ASSERT_EQ(total.size(), 1u);
+  EXPECT_NEAR(total[0], 10.0, 0.01);
+}

@@ -1,0 +1,136 @@
+// Unit tests for the strong time/bandwidth types (src/sim/time.hpp).
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+using namespace amrt::sim;
+using namespace amrt::sim::literals;
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::microseconds(1).ns(), 1000);
+  EXPECT_EQ(Duration::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::seconds(2), Duration::milliseconds(2000));
+}
+
+TEST(Duration, LiteralsMatchFactories) {
+  EXPECT_EQ(5_us, Duration::microseconds(5));
+  EXPECT_EQ(3_ms, Duration::milliseconds(3));
+  EXPECT_EQ(1_s, Duration::seconds(1));
+  EXPECT_EQ(250_ns, Duration::nanoseconds(250));
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((2_us + 3_us).ns(), 5000);
+  EXPECT_EQ((5_us - 3_us).ns(), 2000);
+  EXPECT_EQ((2_us * 3).ns(), 6000);
+  EXPECT_EQ((3 * 2_us).ns(), 6000);
+  EXPECT_EQ((6_us / 3).ns(), 2000);
+  EXPECT_DOUBLE_EQ(6_us / (2_us), 3.0);
+  EXPECT_EQ(-(2_us), Duration::microseconds(-2));
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = 1_us;
+  d += 2_us;
+  EXPECT_EQ(d, 3_us);
+  d -= 1_us;
+  EXPECT_EQ(d, 2_us);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_GE(2_ms, 2000_us);
+  EXPECT_EQ(Duration::zero().ns(), 0);
+}
+
+TEST(Duration, FromSecondsRounds) {
+  EXPECT_EQ(Duration::from_seconds(1e-9).ns(), 1);
+  EXPECT_EQ(Duration::from_seconds(1.5e-9).ns(), 2);  // rounds to nearest
+  EXPECT_EQ(Duration::from_seconds(0.001), 1_ms);
+}
+
+TEST(Duration, ScaledByDouble) {
+  EXPECT_EQ((10_us).scaled(0.5), 5_us);
+  EXPECT_EQ((10_us).scaled(2.0), 20_us);
+}
+
+TEST(Duration, ConversionAccessors) {
+  EXPECT_DOUBLE_EQ((1500_ns).to_micros(), 1.5);
+  EXPECT_DOUBLE_EQ((2_ms).to_millis(), 2.0);
+  EXPECT_DOUBLE_EQ((3_s).to_seconds(), 3.0);
+}
+
+TEST(Duration, StringFormat) {
+  EXPECT_EQ((12_us).str(), "12.000us");
+  EXPECT_EQ((500_ns).str(), "500ns");
+  EXPECT_EQ((2_ms).str(), "2.000ms");
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t = TimePoint::from_ns(1000);
+  EXPECT_EQ((t + 1_us).ns(), 2000);
+  EXPECT_EQ((1_us + t).ns(), 2000);
+  EXPECT_EQ((t - 500_ns).ns(), 500);
+  EXPECT_EQ(TimePoint::from_ns(3000) - t, 2_us);
+}
+
+TEST(TimePoint, CompoundAdvance) {
+  TimePoint t = TimePoint::zero();
+  t += 5_us;
+  EXPECT_EQ(t.ns(), 5000);
+}
+
+TEST(TimePoint, Ordering) {
+  EXPECT_LT(TimePoint::zero(), TimePoint::from_ns(1));
+  EXPECT_EQ(TimePoint::max().ns(), INT64_MAX);
+}
+
+TEST(Bandwidth, Factories) {
+  EXPECT_EQ((10_gbps).bits_per_second(), 10'000'000'000LL);
+  EXPECT_EQ((100_mbps).bits_per_second(), 100'000'000LL);
+  EXPECT_DOUBLE_EQ((10_gbps).gbps_value(), 10.0);
+}
+
+TEST(Bandwidth, TxTimeExactAtTenGig) {
+  // 1500B at 10Gbps = 1.2us exactly.
+  EXPECT_EQ((10_gbps).tx_time(1500), 1200_ns);
+  // 64B control packet: 51.2ns -> rounded up to 52ns.
+  EXPECT_EQ((10_gbps).tx_time(64).ns(), 52);
+}
+
+TEST(Bandwidth, TxTimeAtOneGig) {
+  EXPECT_EQ((1_gbps).tx_time(1500), 12'000_ns);
+}
+
+TEST(Bandwidth, TxTimeRoundsUp) {
+  // 1 byte at 3 Gbps = 8/3 ns -> 3ns.
+  EXPECT_EQ(Bandwidth::gbps(3).tx_time(1), 3_ns);
+}
+
+TEST(Bandwidth, BytesInWindow) {
+  // 10Gbps for 1.2us = 1500 bytes.
+  EXPECT_EQ((10_gbps).bytes_in(1200_ns), 1500);
+  EXPECT_EQ((10_gbps).bytes_in(Duration::zero()), 0);
+}
+
+TEST(Bandwidth, RoundTripWithTxTime) {
+  // bytes_in(tx_time(n)) == n for sizes whose wire time is a whole ns at
+  // 10Gbps (1500B = 1200ns, 9000B = 7200ns). tx_time rounds up, so sizes
+  // like 64B come back at most one byte high.
+  for (std::int64_t n : {1500, 9000}) {
+    EXPECT_EQ((10_gbps).bytes_in((10_gbps).tx_time(n)), n) << n;
+  }
+  EXPECT_LE((10_gbps).bytes_in((10_gbps).tx_time(64)), 65);
+  EXPECT_GE((10_gbps).bytes_in((10_gbps).tx_time(64)), 64);
+}
+
+TEST(Bandwidth, ScalingOperators) {
+  EXPECT_EQ((10_gbps) / 2, Bandwidth::gbps(5));
+  EXPECT_EQ((10_gbps) * 2, Bandwidth::gbps(20));
+}
+
+TEST(Bandwidth, StringFormat) {
+  EXPECT_EQ((10_gbps).str(), "10Gbps");
+  EXPECT_EQ((100_mbps).str(), "100Mbps");
+}

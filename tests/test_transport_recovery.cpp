@@ -1,0 +1,145 @@
+// Loss-recovery tests: flows must survive brutal queues, trimming, and tail
+// drops, without livelock and without runaway retransmission.
+#include <gtest/gtest.h>
+
+#include "test_rig.hpp"
+
+using namespace amrt;
+using namespace amrt::sim::literals;
+using amrt::testutil::DumbbellRig;
+using amrt::testutil::RigOptions;
+using transport::Protocol;
+
+namespace {
+std::string proto_name(const ::testing::TestParamInfo<Protocol>& info) {
+  return transport::to_string(info.param);
+}
+
+std::uint64_t total_drops(DumbbellRig& rig) {
+  std::uint64_t drops = 0;
+  for (auto& sw : rig.network().switches()) {
+    for (int p = 0; p < sw->port_count(); ++p) drops += sw->port(p).queue().stats().dropped;
+  }
+  return drops;
+}
+}  // namespace
+
+class Recovery : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(Recovery, CompletesThroughTinyBuffers) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.queues.buffer_pkts = 4;
+  opt.queues.trim_threshold = 4;
+  opt.pairs = 3;
+  DumbbellRig rig{opt};
+  // Three colliding 300KB bursts through a 4-packet bottleneck.
+  for (int i = 0; i < 3; ++i) rig.start_flow(static_cast<net::FlowId>(i + 1), i, 300'000);
+  ASSERT_TRUE(rig.run_to_completion(3, 1_s)) << "losses must be repaired";
+  EXPECT_EQ(rig.recorder().bytes_delivered(), 900'000u);
+}
+
+TEST_P(Recovery, SurvivesExtremeIncastCollision) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.queues.buffer_pkts = 2;
+  opt.queues.trim_threshold = 2;
+  opt.pairs = 6;
+  DumbbellRig rig{opt};
+  for (int i = 0; i < 6; ++i) rig.start_flow(static_cast<net::FlowId>(i + 1), i, 100'000);
+  ASSERT_TRUE(rig.run_to_completion(6, 2_s));
+}
+
+TEST_P(Recovery, TailLossRepairedByStallScan) {
+  // A small flow whose *last* packets drop has no later arrivals to expose
+  // the hole — only the stall timer can save it.
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.queues.buffer_pkts = 3;
+  opt.queues.trim_threshold = 3;
+  opt.pairs = 2;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 30'000);
+  rig.start_flow(2, 1, 30'000);  // collide to force drops
+  ASSERT_TRUE(rig.run_to_completion(2, 1_s));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, Recovery, ::testing::ValuesIn(testutil::kAllProtocols),
+                         proto_name);
+
+TEST(RecoveryNdp, TrimsInsteadOfDropping) {
+  RigOptions opt;
+  opt.proto = Protocol::kNdp;
+  opt.queues.trim_threshold = 4;
+  opt.pairs = 3;
+  DumbbellRig rig{opt};
+  for (int i = 0; i < 3; ++i) rig.start_flow(static_cast<net::FlowId>(i + 1), i, 300'000);
+  ASSERT_TRUE(rig.run_to_completion(3, 1_s));
+  std::uint64_t trims = 0;
+  for (auto& sw : rig.network().switches()) {
+    for (int p = 0; p < sw->port_count(); ++p) trims += sw->port(p).queue().stats().trimmed;
+  }
+  EXPECT_GT(trims, 0u);
+  EXPECT_EQ(total_drops(rig), 0u) << "NDP's switches never drop data";
+}
+
+TEST(RecoveryBounded, RetransmissionsStayProportionalToLosses) {
+  RigOptions opt;
+  opt.proto = Protocol::kAmrt;
+  opt.queues.buffer_pkts = 4;
+  opt.pairs = 2;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 500'000);
+  rig.start_flow(2, 1, 500'000);
+  ASSERT_TRUE(rig.run_to_completion(2, 1_s));
+  const std::uint64_t payload_pkts = 2 * net::packets_for_bytes(500'000);
+  std::uint64_t data_sent = 0;
+  for (int i = 0; i < 2; ++i) data_sent += rig.sender(i).nic().packets_sent();
+  const std::uint64_t drops = total_drops(rig);
+  // Everything sent = payload + retransmissions (~= drops) + control; a
+  // factor-2 margin catches runaway duplicate storms.
+  EXPECT_LT(data_sent, (payload_pkts + drops) * 2 + 200)
+      << "suspicious retransmission volume: sent " << data_sent << " for " << payload_pkts
+      << " packets with " << drops << " drops";
+}
+
+TEST(RecoveryStale, LatePacketsOfFinishedFlowsIgnored) {
+  RigOptions opt;
+  opt.proto = Protocol::kAmrt;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 50'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 100_ms));
+  const auto done = rig.recorder().completed().size();
+  // Replay a stale data packet of the finished flow straight into the
+  // receiver: nothing should change, no flow resurrection.
+  net::Packet stale;
+  stale.flow = 1;
+  stale.seq = 0;
+  stale.type = net::PacketType::kData;
+  stale.payload_bytes = net::kMssBytes;
+  stale.wire_bytes = net::kMtuBytes;
+  stale.src = rig.sender(0).id();
+  stale.dst = rig.receiver(0).id();
+  stale.flow_bytes = 50'000;
+  rig.receiver(0).handle_packet(std::move(stale), 0);
+  rig.sched().run_until(rig.sched().now() + 5_ms);
+  EXPECT_EQ(rig.recorder().completed().size(), done);
+  EXPECT_EQ(rig.receiver_ep(0).open_receiver_flows(), 0u);
+}
+
+TEST(RecoveryBackoff, SilentFlowBacksOff) {
+  // An unresponsive sender leaves the receiver probing forever; the stall
+  // timer must back off instead of hammering every RTO.
+  RigOptions opt;
+  opt.proto = Protocol::kAmrt;
+  opt.responsive = false;
+  opt.unscheduled = false;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 1'000'000);
+  rig.sched().run_until(sim::TimePoint::zero() + 50_ms);
+  // Without backoff the stall timer would probe every rto (~34us): ~1470
+  // probes in 50ms. The 8x backoff cap must cut that by roughly 8x.
+  const auto ctrl_sent = rig.receiver(0).nic().packets_sent();
+  EXPECT_GE(ctrl_sent, 3u);
+  EXPECT_LE(ctrl_sent, 250u);
+}

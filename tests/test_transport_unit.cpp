@@ -1,0 +1,163 @@
+// End-to-end transport unit tests, parameterized over all four protocols:
+// single flows complete with near-ideal FCT, payload is conserved, state is
+// torn down, and the unscheduled-window rules hold.
+#include <gtest/gtest.h>
+
+#include "test_rig.hpp"
+
+using namespace amrt;
+using namespace amrt::sim::literals;
+using amrt::testutil::DumbbellRig;
+using amrt::testutil::RigOptions;
+using transport::Protocol;
+
+namespace {
+std::string proto_name(const ::testing::TestParamInfo<Protocol>& info) {
+  return transport::to_string(info.param);
+}
+}  // namespace
+
+class SingleFlow : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(SingleFlow, TinyFlowCompletesQuickly) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 1'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 50_ms));
+  const auto rec = rig.recorder().completed().at(0);
+  EXPECT_EQ(rec.bytes, 1'000u);
+  // One packet out (3 hops) — well under 4 base RTTs even with overheads.
+  EXPECT_LT(rec.fct(), rig.tcfg().base_rtt * 4);
+}
+
+TEST_P(SingleFlow, BulkFlowApproachesLineRate) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 5'000'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 100_ms));
+  const auto rec = rig.recorder().completed().at(0);
+  // Ideal: 5MB at 10G ~ 4.1ms incl. headers; allow 40% slack.
+  const double ideal_us = 4'110.0;
+  EXPECT_LT(rec.fct().to_micros(), ideal_us * 1.4) << transport::to_string(GetParam());
+}
+
+TEST_P(SingleFlow, PayloadConservation) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  DumbbellRig rig{opt};
+  for (std::uint64_t bytes : {1ull, 1460ull, 1461ull, 123'456ull}) {
+    static net::FlowId id = 0;
+    rig.start_flow(++id, 0, bytes);
+  }
+  ASSERT_TRUE(rig.run_to_completion(4, 100_ms));
+  EXPECT_EQ(rig.recorder().bytes_delivered(), 1ull + 1460 + 1461 + 123'456);
+}
+
+TEST_P(SingleFlow, SenderAndReceiverStateTornDown) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 100'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 50_ms));
+  // Give the kDone message time to drain back.
+  rig.sched().run_until(rig.sched().now() + 1_ms);
+  EXPECT_EQ(rig.sender_ep(0).open_sender_flows(), 0u);
+  EXPECT_EQ(rig.receiver_ep(0).open_receiver_flows(), 0u);
+}
+
+TEST_P(SingleFlow, ManySequentialFlowsAllComplete) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  DumbbellRig rig{opt};
+  for (int i = 0; i < 20; ++i) {
+    rig.start_flow(static_cast<net::FlowId>(i + 1), 0, 40'000,
+                   sim::TimePoint::zero() + sim::Duration::microseconds(i * 100));
+  }
+  ASSERT_TRUE(rig.run_to_completion(20, 200_ms));
+  EXPECT_EQ(rig.recorder().completed().size(), 20u);
+}
+
+TEST_P(SingleFlow, TwoConcurrentFlowsShareTheBottleneck) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.pairs = 2;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 2'000'000);
+  rig.start_flow(2, 1, 2'000'000);
+  ASSERT_TRUE(rig.run_to_completion(2, 100_ms));
+  // Two 2MB flows over a shared 10G bottleneck: neither can beat solo time
+  // and both must finish within a loose 5x of the shared ideal.
+  for (const auto& rec : rig.recorder().completed()) {
+    EXPECT_GT(rec.fct().to_micros(), 1'600.0);
+    EXPECT_LT(rec.fct().to_micros(), 17'000.0);
+  }
+}
+
+TEST_P(SingleFlow, UnresponsiveSenderDeliversNothing) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.responsive = false;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 100'000);
+  EXPECT_FALSE(rig.run_to_completion(1, 5_ms));
+  EXPECT_EQ(rig.recorder().bytes_delivered(), 0u);
+  EXPECT_EQ(rig.recorder().started_count(), 1u);  // the RTS still announced it
+}
+
+TEST_P(SingleFlow, NoUnscheduledStartStillCompletes) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.unscheduled = false;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 200'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 100_ms)) << "grant bootstrap must work without blind start";
+}
+
+TEST_P(SingleFlow, ZeroByteFlowIgnored) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 0);
+  rig.sched().run_until(sim::TimePoint::zero() + 1_ms);
+  EXPECT_EQ(rig.recorder().started_count(), 0u);
+}
+
+TEST_P(SingleFlow, DeterministicForIdenticalSetup) {
+  auto run_once = [&] {
+    RigOptions opt;
+    opt.proto = GetParam();
+    DumbbellRig rig{opt};
+    rig.start_flow(1, 0, 1'000'000);
+    EXPECT_TRUE(rig.run_to_completion(1, 100_ms));
+    return rig.recorder().completed().at(0).fct();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, SingleFlow, ::testing::ValuesIn(testutil::kAllProtocols),
+                         proto_name);
+
+// Unscheduled window: a flow larger than one BDP must not blast everything.
+TEST(UnscheduledWindow, BlindBurstCappedAtBdp) {
+  RigOptions opt;
+  opt.proto = Protocol::kAmrt;
+  DumbbellRig rig{opt};
+  const auto bdp = rig.tcfg().bdp_packets();
+  rig.start_flow(1, 0, static_cast<std::uint64_t>(bdp) * net::kMssBytes * 4);
+  // Run only until the blind burst is fully on the wire but no grant has
+  // returned yet (half a base RTT).
+  rig.sched().run_until(sim::TimePoint::zero() + rig.tcfg().base_rtt / 2);
+  const auto sent = rig.sender(0).nic().packets_sent();
+  EXPECT_LE(sent, static_cast<std::uint64_t>(bdp) + 2);  // burst + RTS
+}
+
+TEST(UnscheduledWindow, SmallFlowSendsEverythingBlind) {
+  RigOptions opt;
+  opt.proto = Protocol::kAmrt;
+  DumbbellRig rig{opt};
+  rig.start_flow(1, 0, 5 * net::kMssBytes);
+  rig.sched().run_until(sim::TimePoint::zero() + rig.tcfg().base_rtt / 2);
+  EXPECT_EQ(rig.sender(0).nic().packets_sent(), 6u);  // 5 data + 1 RTS
+}

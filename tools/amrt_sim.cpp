@@ -1,0 +1,148 @@
+// amrt_sim — command-line front end for the leaf-spine experiment runner.
+//
+// Runs one experiment per invocation and prints a single result row, so it
+// composes with shell loops and plotting scripts:
+//
+//   amrt_sim --proto=AMRT --workload=DM --load=0.7 --flows=300 --seed=3
+//   amrt_sim --proto=pHost --workload=WSc --leaves=10 --spines=8 ...
+//            --hosts-per-leaf=40 --link-delay-us=100 --csv
+//
+// All flags are optional; defaults match the laptop-scale fabric used by the
+// figure benches.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "net/topology.hpp"
+
+using namespace amrt;
+
+namespace {
+
+void usage() {
+  std::puts(
+      "amrt_sim [options]\n"
+      "  --proto=AMRT|pHost|Homa|NDP   transport under test (default AMRT)\n"
+      "  --workload=WSv|CF|HC|WSc|DM   flow-size distribution (default WSc)\n"
+      "  --load=X                      offered load fraction (default 0.5)\n"
+      "  --flows=N                     number of flows (default 400)\n"
+      "  --leaves=N --spines=N --hosts-per-leaf=N   fabric shape (4/4/8)\n"
+      "  --link-gbps=N                 link rate (default 10)\n"
+      "  --link-delay-us=N             per-link propagation (default 10)\n"
+      "  --buffer-pkts=N               switch buffer (default 128)\n"
+      "  --overcommit=K                Homa overcommitment degree (default 2)\n"
+      "  --spray                       per-packet multipath instead of ECMP\n"
+      "  --seed=S                      RNG seed (default 1)\n"
+      "  --csv                         machine-readable one-line output\n"
+      "  --fct-csv=PATH                dump per-flow completion records\n");
+}
+
+bool match(const std::string& arg, const char* prefix, std::string& value) {
+  const std::string p = prefix;
+  if (arg.rfind(p, 0) == 0) {
+    value = arg.substr(p.size());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  harness::ExperimentConfig cfg;
+  cfg.proto = transport::Protocol::kAmrt;
+  cfg.workload = workload::Kind::kWebSearch;
+  cfg.n_flows = 400;
+  bool csv = false;
+  std::string fct_csv_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    try {
+      if (match(arg, "--proto=", v)) {
+        cfg.proto = transport::protocol_from_string(v);
+      } else if (match(arg, "--workload=", v)) {
+        cfg.workload = workload::kind_from_string(v);
+      } else if (match(arg, "--load=", v)) {
+        cfg.load = std::stod(v);
+      } else if (match(arg, "--flows=", v)) {
+        cfg.n_flows = std::stoul(v);
+      } else if (match(arg, "--leaves=", v)) {
+        cfg.leaves = std::stoi(v);
+      } else if (match(arg, "--spines=", v)) {
+        cfg.spines = std::stoi(v);
+      } else if (match(arg, "--hosts-per-leaf=", v)) {
+        cfg.hosts_per_leaf = std::stoi(v);
+      } else if (match(arg, "--link-gbps=", v)) {
+        cfg.link_rate = sim::Bandwidth::gbps(std::stoll(v));
+      } else if (match(arg, "--link-delay-us=", v)) {
+        cfg.link_delay = sim::Duration::microseconds(std::stoll(v));
+      } else if (match(arg, "--buffer-pkts=", v)) {
+        cfg.queues.buffer_pkts = std::stoul(v);
+      } else if (match(arg, "--overcommit=", v)) {
+        cfg.homa_overcommit = std::stoi(v);
+      } else if (match(arg, "--seed=", v)) {
+        cfg.seed = std::stoull(v);
+      } else if (match(arg, "--fct-csv=", v)) {
+        fct_csv_path = v;
+      } else if (arg == "--spray") {
+        cfg.multipath = net::MultipathMode::kPacketSpray;
+      } else if (arg == "--csv") {
+        csv = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+        usage();
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bad option %s: %s\n", arg.c_str(), e.what());
+      return 2;
+    }
+  }
+
+  const auto r = harness::run_leaf_spine(cfg);
+
+  if (!fct_csv_path.empty()) {
+    std::ofstream out{fct_csv_path};
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", fct_csv_path.c_str());
+      return 2;
+    }
+    harness::write_fct_csv(out, r.flow_records);
+  }
+
+  if (csv) {
+    std::printf("proto,workload,load,flows,seed,afct_us,p99_us,small_afct_us,large_afct_us,"
+                "slowdown,utilization,max_queue,drops,trims,completed,events,wall_s\n");
+    std::printf("%s,%s,%.2f,%zu,%llu,%.1f,%.1f,%.1f,%.1f,%.2f,%.4f,%zu,%llu,%llu,%zu,%llu,%.2f\n",
+                transport::to_string(cfg.proto), workload::abbrev(cfg.workload), cfg.load,
+                cfg.n_flows, static_cast<unsigned long long>(cfg.seed), r.fct_all.afct_us,
+                r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
+                r.fct_all.mean_slowdown, r.mean_utilization, r.max_queue_pkts,
+                static_cast<unsigned long long>(r.drops), static_cast<unsigned long long>(r.trims),
+                r.flows_completed, static_cast<unsigned long long>(r.events), r.wall_seconds);
+    return 0;
+  }
+
+  std::printf("%s on %s, load %.2f, %zu flows (seed %llu)\n", transport::to_string(cfg.proto),
+              workload::name(cfg.workload), cfg.load, cfg.n_flows,
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("  completed:    %zu/%zu flows (%llu drops, %llu trims)\n", r.flows_completed,
+              r.flows_started, static_cast<unsigned long long>(r.drops),
+              static_cast<unsigned long long>(r.trims));
+  std::printf("  FCT:          avg %.1fus, p99 %.1fus, small %.1fus, large %.1fus, slowdown %.2f\n",
+              r.fct_all.afct_us, r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
+              r.fct_all.mean_slowdown);
+  std::printf("  utilization:  %.1f%% (byte-weighted over active downlinks)\n",
+              100.0 * r.mean_utilization);
+  std::printf("  max queue:    %zu packets\n", r.max_queue_pkts);
+  std::printf("  simulated %.3fs in %.2fs wall (%llu events)\n", r.sim_seconds, r.wall_seconds,
+              static_cast<unsigned long long>(r.events));
+  return r.flows_completed == r.flows_started ? 0 : 1;
+}
