@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_amrt.dir/ablation_amrt.cpp.o"
+  "CMakeFiles/ablation_amrt.dir/ablation_amrt.cpp.o.d"
+  "ablation_amrt"
+  "ablation_amrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_amrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_multi_bottleneck.dir/fig01_multi_bottleneck.cpp.o"
+  "CMakeFiles/fig01_multi_bottleneck.dir/fig01_multi_bottleneck.cpp.o.d"
+  "fig01_multi_bottleneck"
+  "fig01_multi_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_multi_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

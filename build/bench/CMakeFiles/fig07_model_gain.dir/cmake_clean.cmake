@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_model_gain.dir/fig07_model_gain.cpp.o"
+  "CMakeFiles/fig07_model_gain.dir/fig07_model_gain.cpp.o.d"
+  "fig07_model_gain"
+  "fig07_model_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_model_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_testbed_dynamic.dir/fig09_testbed_dynamic.cpp.o"
+  "CMakeFiles/fig09_testbed_dynamic.dir/fig09_testbed_dynamic.cpp.o.d"
+  "fig09_testbed_dynamic"
+  "fig09_testbed_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_testbed_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

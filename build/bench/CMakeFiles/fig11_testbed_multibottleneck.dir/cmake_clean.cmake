@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_testbed_multibottleneck.dir/fig11_testbed_multibottleneck.cpp.o"
+  "CMakeFiles/fig11_testbed_multibottleneck.dir/fig11_testbed_multibottleneck.cpp.o.d"
+  "fig11_testbed_multibottleneck"
+  "fig11_testbed_multibottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_testbed_multibottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_many_to_many.dir/fig14_many_to_many.cpp.o"
+  "CMakeFiles/fig14_many_to_many.dir/fig14_many_to_many.cpp.o.d"
+  "fig14_many_to_many"
+  "fig14_many_to_many.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_many_to_many.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

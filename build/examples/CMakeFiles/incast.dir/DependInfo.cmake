@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/incast.cpp" "examples/CMakeFiles/incast.dir/incast.cpp.o" "gcc" "examples/CMakeFiles/incast.dir/incast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amrt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

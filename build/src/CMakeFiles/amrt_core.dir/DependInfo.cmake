@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amrt.cpp" "src/CMakeFiles/amrt_core.dir/core/amrt.cpp.o" "gcc" "src/CMakeFiles/amrt_core.dir/core/amrt.cpp.o.d"
+  "/root/repo/src/core/anti_ecn.cpp" "src/CMakeFiles/amrt_core.dir/core/anti_ecn.cpp.o" "gcc" "src/CMakeFiles/amrt_core.dir/core/anti_ecn.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/CMakeFiles/amrt_core.dir/core/factory.cpp.o" "gcc" "src/CMakeFiles/amrt_core.dir/core/factory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amrt_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrt_core.dir/core/amrt.cpp.o"
+  "CMakeFiles/amrt_core.dir/core/amrt.cpp.o.d"
+  "CMakeFiles/amrt_core.dir/core/anti_ecn.cpp.o"
+  "CMakeFiles/amrt_core.dir/core/anti_ecn.cpp.o.d"
+  "CMakeFiles/amrt_core.dir/core/factory.cpp.o"
+  "CMakeFiles/amrt_core.dir/core/factory.cpp.o.d"
+  "libamrt_core.a"
+  "libamrt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

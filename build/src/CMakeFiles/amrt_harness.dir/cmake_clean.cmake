@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrt_harness.dir/harness/csv.cpp.o"
+  "CMakeFiles/amrt_harness.dir/harness/csv.cpp.o.d"
+  "CMakeFiles/amrt_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/amrt_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/amrt_harness.dir/harness/options.cpp.o"
+  "CMakeFiles/amrt_harness.dir/harness/options.cpp.o.d"
+  "CMakeFiles/amrt_harness.dir/harness/scenarios.cpp.o"
+  "CMakeFiles/amrt_harness.dir/harness/scenarios.cpp.o.d"
+  "libamrt_harness.a"
+  "libamrt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrt_model.dir/model/amrt_model.cpp.o"
+  "CMakeFiles/amrt_model.dir/model/amrt_model.cpp.o.d"
+  "libamrt_model.a"
+  "libamrt_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrt_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cpp" "src/CMakeFiles/amrt_net.dir/net/host.cpp.o" "gcc" "src/CMakeFiles/amrt_net.dir/net/host.cpp.o.d"
+  "/root/repo/src/net/monitor.cpp" "src/CMakeFiles/amrt_net.dir/net/monitor.cpp.o" "gcc" "src/CMakeFiles/amrt_net.dir/net/monitor.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/amrt_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/amrt_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/port.cpp" "src/CMakeFiles/amrt_net.dir/net/port.cpp.o" "gcc" "src/CMakeFiles/amrt_net.dir/net/port.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/amrt_net.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/amrt_net.dir/net/queue.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/amrt_net.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/amrt_net.dir/net/routing.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/CMakeFiles/amrt_net.dir/net/switch.cpp.o" "gcc" "src/CMakeFiles/amrt_net.dir/net/switch.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/amrt_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/amrt_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

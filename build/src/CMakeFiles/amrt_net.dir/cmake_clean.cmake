@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrt_net.dir/net/host.cpp.o"
+  "CMakeFiles/amrt_net.dir/net/host.cpp.o.d"
+  "CMakeFiles/amrt_net.dir/net/monitor.cpp.o"
+  "CMakeFiles/amrt_net.dir/net/monitor.cpp.o.d"
+  "CMakeFiles/amrt_net.dir/net/packet.cpp.o"
+  "CMakeFiles/amrt_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/amrt_net.dir/net/port.cpp.o"
+  "CMakeFiles/amrt_net.dir/net/port.cpp.o.d"
+  "CMakeFiles/amrt_net.dir/net/queue.cpp.o"
+  "CMakeFiles/amrt_net.dir/net/queue.cpp.o.d"
+  "CMakeFiles/amrt_net.dir/net/routing.cpp.o"
+  "CMakeFiles/amrt_net.dir/net/routing.cpp.o.d"
+  "CMakeFiles/amrt_net.dir/net/switch.cpp.o"
+  "CMakeFiles/amrt_net.dir/net/switch.cpp.o.d"
+  "CMakeFiles/amrt_net.dir/net/topology.cpp.o"
+  "CMakeFiles/amrt_net.dir/net/topology.cpp.o.d"
+  "libamrt_net.a"
+  "libamrt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamrt_net.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrt_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/amrt_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/amrt_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/amrt_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/amrt_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/amrt_sim.dir/sim/scheduler.cpp.o.d"
+  "CMakeFiles/amrt_sim.dir/sim/time.cpp.o"
+  "CMakeFiles/amrt_sim.dir/sim/time.cpp.o.d"
+  "CMakeFiles/amrt_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/amrt_sim.dir/sim/trace.cpp.o.d"
+  "libamrt_sim.a"
+  "libamrt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

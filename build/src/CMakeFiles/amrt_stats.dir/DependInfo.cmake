@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/fct.cpp" "src/CMakeFiles/amrt_stats.dir/stats/fct.cpp.o" "gcc" "src/CMakeFiles/amrt_stats.dir/stats/fct.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/amrt_stats.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/amrt_stats.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/CMakeFiles/amrt_stats.dir/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/amrt_stats.dir/stats/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

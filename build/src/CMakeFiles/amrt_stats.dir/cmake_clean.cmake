@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrt_stats.dir/stats/fct.cpp.o"
+  "CMakeFiles/amrt_stats.dir/stats/fct.cpp.o.d"
+  "CMakeFiles/amrt_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/amrt_stats.dir/stats/summary.cpp.o.d"
+  "CMakeFiles/amrt_stats.dir/stats/timeseries.cpp.o"
+  "CMakeFiles/amrt_stats.dir/stats/timeseries.cpp.o.d"
+  "libamrt_stats.a"
+  "libamrt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

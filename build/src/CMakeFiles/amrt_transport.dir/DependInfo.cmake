@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/config.cpp" "src/CMakeFiles/amrt_transport.dir/transport/config.cpp.o" "gcc" "src/CMakeFiles/amrt_transport.dir/transport/config.cpp.o.d"
+  "/root/repo/src/transport/endpoint.cpp" "src/CMakeFiles/amrt_transport.dir/transport/endpoint.cpp.o" "gcc" "src/CMakeFiles/amrt_transport.dir/transport/endpoint.cpp.o.d"
+  "/root/repo/src/transport/homa.cpp" "src/CMakeFiles/amrt_transport.dir/transport/homa.cpp.o" "gcc" "src/CMakeFiles/amrt_transport.dir/transport/homa.cpp.o.d"
+  "/root/repo/src/transport/ndp.cpp" "src/CMakeFiles/amrt_transport.dir/transport/ndp.cpp.o" "gcc" "src/CMakeFiles/amrt_transport.dir/transport/ndp.cpp.o.d"
+  "/root/repo/src/transport/phost.cpp" "src/CMakeFiles/amrt_transport.dir/transport/phost.cpp.o" "gcc" "src/CMakeFiles/amrt_transport.dir/transport/phost.cpp.o.d"
+  "/root/repo/src/transport/receiver_driven.cpp" "src/CMakeFiles/amrt_transport.dir/transport/receiver_driven.cpp.o" "gcc" "src/CMakeFiles/amrt_transport.dir/transport/receiver_driven.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amrt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrt_transport.dir/transport/config.cpp.o"
+  "CMakeFiles/amrt_transport.dir/transport/config.cpp.o.d"
+  "CMakeFiles/amrt_transport.dir/transport/endpoint.cpp.o"
+  "CMakeFiles/amrt_transport.dir/transport/endpoint.cpp.o.d"
+  "CMakeFiles/amrt_transport.dir/transport/homa.cpp.o"
+  "CMakeFiles/amrt_transport.dir/transport/homa.cpp.o.d"
+  "CMakeFiles/amrt_transport.dir/transport/ndp.cpp.o"
+  "CMakeFiles/amrt_transport.dir/transport/ndp.cpp.o.d"
+  "CMakeFiles/amrt_transport.dir/transport/phost.cpp.o"
+  "CMakeFiles/amrt_transport.dir/transport/phost.cpp.o.d"
+  "CMakeFiles/amrt_transport.dir/transport/receiver_driven.cpp.o"
+  "CMakeFiles/amrt_transport.dir/transport/receiver_driven.cpp.o.d"
+  "libamrt_transport.a"
+  "libamrt_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrt_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cdf.cpp" "src/CMakeFiles/amrt_workload.dir/workload/cdf.cpp.o" "gcc" "src/CMakeFiles/amrt_workload.dir/workload/cdf.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/amrt_workload.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/amrt_workload.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/workloads.cpp" "src/CMakeFiles/amrt_workload.dir/workload/workloads.cpp.o" "gcc" "src/CMakeFiles/amrt_workload.dir/workload/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amrt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrt_workload.dir/workload/cdf.cpp.o"
+  "CMakeFiles/amrt_workload.dir/workload/cdf.cpp.o.d"
+  "CMakeFiles/amrt_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/amrt_workload.dir/workload/generator.cpp.o.d"
+  "CMakeFiles/amrt_workload.dir/workload/workloads.cpp.o"
+  "CMakeFiles/amrt_workload.dir/workload/workloads.cpp.o.d"
+  "libamrt_workload.a"
+  "libamrt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

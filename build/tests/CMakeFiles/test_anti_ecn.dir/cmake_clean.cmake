@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anti_ecn.dir/test_anti_ecn.cpp.o"
+  "CMakeFiles/test_anti_ecn.dir/test_anti_ecn.cpp.o.d"
+  "test_anti_ecn"
+  "test_anti_ecn.pdb"
+  "test_anti_ecn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anti_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

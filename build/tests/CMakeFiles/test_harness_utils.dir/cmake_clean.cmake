@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harness_utils.dir/test_harness_utils.cpp.o"
+  "CMakeFiles/test_harness_utils.dir/test_harness_utils.cpp.o.d"
+  "test_harness_utils"
+  "test_harness_utils.pdb"
+  "test_harness_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harness_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_fabric.dir/test_integration_fabric.cpp.o"
+  "CMakeFiles/test_integration_fabric.dir/test_integration_fabric.cpp.o.d"
+  "test_integration_fabric"
+  "test_integration_fabric.pdb"
+  "test_integration_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

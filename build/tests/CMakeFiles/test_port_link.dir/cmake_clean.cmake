@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_port_link.dir/test_port_link.cpp.o"
+  "CMakeFiles/test_port_link.dir/test_port_link.cpp.o.d"
+  "test_port_link"
+  "test_port_link.pdb"
+  "test_port_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_port_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_conservation.dir/test_property_conservation.cpp.o"
+  "CMakeFiles/test_property_conservation.dir/test_property_conservation.cpp.o.d"
+  "test_property_conservation"
+  "test_property_conservation.pdb"
+  "test_property_conservation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_conservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

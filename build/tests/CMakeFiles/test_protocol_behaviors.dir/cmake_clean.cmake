@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_behaviors.dir/test_protocol_behaviors.cpp.o"
+  "CMakeFiles/test_protocol_behaviors.dir/test_protocol_behaviors.cpp.o.d"
+  "test_protocol_behaviors"
+  "test_protocol_behaviors.pdb"
+  "test_protocol_behaviors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_behaviors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing_switch.dir/test_routing_switch.cpp.o"
+  "CMakeFiles/test_routing_switch.dir/test_routing_switch.cpp.o.d"
+  "test_routing_switch"
+  "test_routing_switch.pdb"
+  "test_routing_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

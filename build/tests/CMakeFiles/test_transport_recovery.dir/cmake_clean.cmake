@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_recovery.dir/test_transport_recovery.cpp.o"
+  "CMakeFiles/test_transport_recovery.dir/test_transport_recovery.cpp.o.d"
+  "test_transport_recovery"
+  "test_transport_recovery.pdb"
+  "test_transport_recovery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_unit.dir/test_transport_unit.cpp.o"
+  "CMakeFiles/test_transport_unit.dir/test_transport_unit.cpp.o.d"
+  "test_transport_unit"
+  "test_transport_unit.pdb"
+  "test_transport_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

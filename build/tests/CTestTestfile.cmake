@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_time[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_packet[1]_include.cmake")
+include("/root/repo/build/tests/test_queues[1]_include.cmake")
+include("/root/repo/build/tests/test_anti_ecn[1]_include.cmake")
+include("/root/repo/build/tests/test_port_link[1]_include.cmake")
+include("/root/repo/build/tests/test_routing_switch[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_transport_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_transport_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol_behaviors[1]_include.cmake")
+include("/root/repo/build/tests/test_scenarios[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_fabric[1]_include.cmake")
+include("/root/repo/build/tests/test_harness_utils[1]_include.cmake")
+include("/root/repo/build/tests/test_property_conservation[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_model_validation[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amrt-sim.dir/amrt_sim.cpp.o"
+  "CMakeFiles/amrt-sim.dir/amrt_sim.cpp.o.d"
+  "amrt_sim"
+  "amrt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amrt-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
