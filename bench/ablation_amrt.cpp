@@ -14,9 +14,9 @@
 #include <iostream>
 
 #include "harness/csv.hpp"
-#include "harness/experiment.hpp"
 #include "harness/options.hpp"
 #include "harness/scenarios.hpp"
+#include "harness/sweep.hpp"
 #include "net/topology.hpp"
 
 using namespace amrt;
@@ -38,80 +38,119 @@ DynamicConfig base_dynamic() {
 
 int main(int argc, char** argv) {
   const auto opts = harness::parse_bench_options(argc, argv);
+  harness::SweepRunner runner = harness::make_bench_runner(opts, "ablation");
 
   std::printf("Ablation 1: anti-ECN marking threshold (probe bytes)\n");
   harness::Table t1{{"probe_bytes", "f3_fct_ms", "mean_util", "max_queue"}};
-  for (std::uint32_t probe : {750u, 1500u, 3000u, 6000u}) {
-    auto cfg = base_dynamic();
-    cfg.marker_probe_bytes = probe;
-    cfg.seed = opts.seed;
-    const auto r = harness::run_dynamic(cfg);
-    t1.add_row({std::to_string(probe), harness::fmt(r.flow_fct_ms[2]),
-                harness::fmt_pct(r.mean_util_b1), std::to_string(r.max_queue_pkts)});
+  {
+    const std::vector<std::uint32_t> probes{750u, 1500u, 3000u, 6000u};
+    std::vector<DynamicConfig> points;
+    for (std::uint32_t probe : probes) {
+      auto cfg = base_dynamic();
+      cfg.marker_probe_bytes = probe;
+      cfg.seed = opts.seed;
+      points.push_back(cfg);
+    }
+    const auto rs = runner.map_points(
+        points, [](const DynamicConfig& cfg) { return harness::run_dynamic(cfg); });
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      t1.add_row({std::to_string(probes[i]), harness::fmt(rs[i].flow_fct_ms[2]),
+                  harness::fmt_pct(rs[i].mean_util_b1), std::to_string(rs[i].max_queue_pkts)});
+    }
   }
   if (opts.csv) t1.print_csv(std::cout); else t1.print(std::cout);
 
   std::printf("\nAblation 2: marked-grant allowance (paper: 2)\n");
   harness::Table t2{{"allowance", "f3_fct_ms", "mean_util", "max_queue"}};
-  for (std::uint16_t allowance : {2, 3, 4}) {
-    auto cfg = base_dynamic();
-    cfg.amrt_marked_allowance = allowance;
-    cfg.seed = opts.seed;
-    const auto r = harness::run_dynamic(cfg);
-    t2.add_row({std::to_string(allowance), harness::fmt(r.flow_fct_ms[2]),
-                harness::fmt_pct(r.mean_util_b1), std::to_string(r.max_queue_pkts)});
+  {
+    const std::vector<std::uint16_t> allowances{2, 3, 4};
+    std::vector<DynamicConfig> points;
+    for (std::uint16_t allowance : allowances) {
+      auto cfg = base_dynamic();
+      cfg.amrt_marked_allowance = allowance;
+      cfg.seed = opts.seed;
+      points.push_back(cfg);
+    }
+    const auto rs = runner.map_points(
+        points, [](const DynamicConfig& cfg) { return harness::run_dynamic(cfg); });
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      t2.add_row({std::to_string(allowances[i]), harness::fmt(rs[i].flow_fct_ms[2]),
+                  harness::fmt_pct(rs[i].mean_util_b1), std::to_string(rs[i].max_queue_pkts)});
+    }
   }
   if (opts.csv) t2.print_csv(std::cout); else t2.print(std::cout);
 
   std::printf("\nAblation 3: receiver loss timeout on a loaded fabric cell (Web Search, load 0.7)\n");
   harness::Table t3{{"rto_x_rtt", "afct_us", "p99_us", "small_afct_us", "drops"}};
-  for (int x : {1, 2, 3, 5}) {
-    harness::ExperimentConfig cfg;
-    cfg.proto = transport::Protocol::kAmrt;
-    cfg.workload = workload::Kind::kWebSearch;
-    cfg.load = 0.7;
-    cfg.n_flows = opts.scaled(200);
-    cfg.seed = opts.seed;
-    cfg.loss_timeout = net::path_base_rtt(4, cfg.link_rate, cfg.link_delay) * x;
-    const auto r = harness::run_leaf_spine(cfg);
-    t3.add_row({std::to_string(x), harness::fmt(r.fct_all.afct_us, 1),
-                harness::fmt(r.fct_all.p99_us, 1), harness::fmt(r.fct_small.afct_us, 1),
-                std::to_string(r.drops)});
+  {
+    const std::vector<int> multiples{1, 2, 3, 5};
+    std::vector<harness::ExperimentConfig> points;
+    for (int x : multiples) {
+      harness::ExperimentConfig cfg;
+      cfg.proto = transport::Protocol::kAmrt;
+      cfg.workload = workload::Kind::kWebSearch;
+      cfg.load = 0.7;
+      cfg.n_flows = opts.scaled(200);
+      cfg.seed = opts.seed;
+      cfg.loss_timeout = net::path_base_rtt(4, cfg.link_rate, cfg.link_delay) * x;
+      points.push_back(cfg);
+    }
+    const auto rs = runner.run(points);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      t3.add_row({std::to_string(multiples[i]), harness::fmt(rs[i].fct_all.afct_us, 1),
+                  harness::fmt(rs[i].fct_all.p99_us, 1), harness::fmt(rs[i].fct_small.afct_us, 1),
+                  std::to_string(rs[i].drops)});
+    }
   }
   if (opts.csv) t3.print_csv(std::cout); else t3.print(std::cout);
 
   std::printf("\nAblation 4: per-flow ECMP vs per-packet spraying (Web Search, load 0.7)\n");
   harness::Table t4{{"proto", "multipath", "afct_us", "p99_us", "util"}};
-  for (auto proto : {transport::Protocol::kNdp, transport::Protocol::kAmrt}) {
-    for (auto mode : {net::MultipathMode::kPerFlowEcmp, net::MultipathMode::kPacketSpray}) {
-      harness::ExperimentConfig cfg;
-      cfg.proto = proto;
-      cfg.workload = workload::Kind::kWebSearch;
-      cfg.load = 0.7;
-      cfg.n_flows = opts.scaled(200);
-      cfg.seed = opts.seed;
-      cfg.multipath = mode;
-      const auto r = harness::run_leaf_spine(cfg);
-      t4.add_row({transport::to_string(proto),
-                  mode == net::MultipathMode::kPerFlowEcmp ? "per-flow" : "spray",
-                  harness::fmt(r.fct_all.afct_us, 1), harness::fmt(r.fct_all.p99_us, 1),
-                  harness::fmt_pct(r.mean_utilization)});
+  {
+    std::vector<harness::ExperimentConfig> points;
+    for (auto proto : {transport::Protocol::kNdp, transport::Protocol::kAmrt}) {
+      for (auto mode : {net::MultipathMode::kPerFlowEcmp, net::MultipathMode::kPacketSpray}) {
+        harness::ExperimentConfig cfg;
+        cfg.proto = proto;
+        cfg.workload = workload::Kind::kWebSearch;
+        cfg.load = 0.7;
+        cfg.n_flows = opts.scaled(200);
+        cfg.seed = opts.seed;
+        cfg.multipath = mode;
+        points.push_back(cfg);
+      }
+    }
+    const auto rs = runner.run(points);
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      t4.add_row({transport::to_string(points[i].proto),
+                  points[i].multipath == net::MultipathMode::kPerFlowEcmp ? "per-flow" : "spray",
+                  harness::fmt(rs[i].fct_all.afct_us, 1), harness::fmt(rs[i].fct_all.p99_us, 1),
+                  harness::fmt_pct(rs[i].mean_utilization)});
     }
   }
   if (opts.csv) t4.print_csv(std::cout); else t4.print(std::cout);
 
   std::printf("\nAblation 5: Aeolus-style selective dropping of blind packets (32-way incast)\n");
   harness::Table t5{{"queue", "afct_us", "p99_us", "drops", "goodput_gbps"}};
-  for (bool selective : {false, true}) {
-    harness::IncastConfig cfg;
-    cfg.proto = transport::Protocol::kAmrt;
-    cfg.senders = 32;
-    cfg.queues.buffer_pkts = 8;
-    cfg.queues.selective_drop = selective;
-    const auto r = harness::run_incast(cfg);
-    t5.add_row({selective ? "selective-drop" : "drop-tail", harness::fmt(r.fct.afct_us, 1),
-                harness::fmt(r.fct.p99_us, 1), std::to_string(r.drops),
-                harness::fmt(r.goodput_gbps)});
+  {
+    const std::vector<bool> modes{false, true};
+    std::vector<harness::IncastConfig> points;
+    for (bool selective : modes) {
+      harness::IncastConfig cfg;
+      cfg.proto = transport::Protocol::kAmrt;
+      cfg.senders = 32;
+      cfg.queues.buffer_pkts = 8;
+      cfg.queues.selective_drop = selective;
+      cfg.seed = opts.seed;
+      points.push_back(cfg);
+    }
+    const auto rs = runner.map_points(
+        points, [](const harness::IncastConfig& cfg) { return harness::run_incast(cfg); });
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      t5.add_row({modes[i] ? "selective-drop" : "drop-tail", harness::fmt(rs[i].fct.afct_us, 1),
+                  harness::fmt(rs[i].fct.p99_us, 1), std::to_string(rs[i].drops),
+                  harness::fmt(rs[i].goodput_gbps)});
+    }
   }
   if (opts.csv) t5.print_csv(std::cout); else t5.print(std::cout);
   return 0;

@@ -14,6 +14,7 @@
 #include "harness/csv.hpp"
 #include "harness/options.hpp"
 #include "harness/scenarios.hpp"
+#include "harness/sweep.hpp"
 
 using namespace amrt;
 using harness::ChainConfig;
@@ -41,8 +42,13 @@ harness::TimelineResult run(transport::Protocol proto, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const auto opts = harness::parse_bench_options(argc, argv);
-  const auto phost = run(transport::Protocol::kPhost, opts.seed);
-  const auto amrt_r = run(transport::Protocol::kAmrt, opts.seed);
+  harness::SweepRunner runner = harness::make_bench_runner(opts, "fig01");
+  const std::vector<transport::Protocol> protos{transport::Protocol::kPhost,
+                                                transport::Protocol::kAmrt};
+  const auto results =
+      runner.map_points(protos, [&](transport::Protocol p) { return run(p, opts.seed); });
+  const auto& phost = results[0];
+  const auto& amrt_r = results[1];
 
   harness::Table table{{"t_ms", "pHost_f0_gbps", "pHost_f1_gbps", "pHost_B1_util", "AMRT_f0_gbps",
                         "AMRT_f1_gbps", "AMRT_B1_util"}};

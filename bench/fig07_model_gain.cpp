@@ -12,6 +12,7 @@
 
 #include "harness/csv.hpp"
 #include "harness/options.hpp"
+#include "harness/sweep.hpp"
 #include "model/amrt_model.hpp"
 
 using namespace amrt;
@@ -22,10 +23,14 @@ int main(int argc, char** argv) {
   const double rtt = 100e-6; // 100 us
   const double sizes[] = {100e3, 1e6, 10e6};
 
+  harness::SweepRunner runner = harness::make_bench_runner(opts, "fig07");
+
   std::printf("Fig. 7(a)(b): utilization gain vs R/C (C=1Gbps, RTT=100us, T_R=0)\n");
   harness::Table util{{"R_over_C", "min_100KB", "max_100KB", "min_1MB", "max_1MB", "min_10MB",
                        "max_10MB"}};
-  for (double rc = 0.1; rc < 0.95; rc += 0.1) {
+  std::vector<double> rcs;
+  for (double rc = 0.1; rc < 0.95; rc += 0.1) rcs.push_back(rc);
+  const auto util_rows = runner.map_points(rcs, [&](double rc) {
     std::vector<std::string> row{harness::fmt(rc, 1)};
     for (double s : sizes) {
       model::Scenario sc{s, C, rc * C, 0.0, rtt};
@@ -33,14 +38,17 @@ int main(int argc, char** argv) {
       row.push_back(harness::fmt(g.min_gain));
       row.push_back(harness::fmt(g.max_gain));
     }
-    util.add_row(std::move(row));
-  }
+    return row;
+  });
+  for (auto row : util_rows) util.add_row(std::move(row));
   if (opts.csv) util.print_csv(std::cout); else util.print(std::cout);
 
   std::printf("\nFig. 7(c)(d): FCT gain vs T_R/T_i (R/C=0.5)\n");
   harness::Table fct{{"TR_over_Ti", "min_100KB", "max_100KB", "min_1MB", "max_1MB", "min_10MB",
                       "max_10MB"}};
-  for (double frac = 0.0; frac < 0.85; frac += 0.1) {
+  std::vector<double> fracs;
+  for (double frac = 0.0; frac < 0.85; frac += 0.1) fracs.push_back(frac);
+  const auto fct_rows = runner.map_points(fracs, [&](double frac) {
     std::vector<std::string> row{harness::fmt(frac, 1)};
     for (double s : sizes) {
       const double ti = s * 8.0 / C;
@@ -49,8 +57,9 @@ int main(int argc, char** argv) {
       row.push_back(harness::fmt(g.min_gain));
       row.push_back(harness::fmt(g.max_gain));
     }
-    fct.add_row(std::move(row));
-  }
+    return row;
+  });
+  for (auto row : fct_rows) fct.add_row(std::move(row));
   if (opts.csv) fct.print_csv(std::cout); else fct.print(std::cout);
 
   std::printf("\nFill-time bounds (Eq. 4/5), n=6 slots: ");

@@ -12,6 +12,7 @@
 #include "harness/csv.hpp"
 #include "harness/options.hpp"
 #include "harness/scenarios.hpp"
+#include "harness/sweep.hpp"
 
 using namespace amrt;
 using harness::DynamicConfig;
@@ -35,8 +36,12 @@ int main(int argc, char** argv) {
   DynamicConfig pair_b = pair_a;
   pair_b.flows = {DynamicFlow{800'000, Duration::zero()}, DynamicFlow{2'000'000, Duration::zero()}};
 
-  const auto ra = harness::run_dynamic(pair_a);
-  const auto rb = harness::run_dynamic(pair_b);
+  harness::SweepRunner runner = harness::make_bench_runner(opts, "fig09");
+  const std::vector<DynamicConfig> cells{pair_a, pair_b};
+  const auto results =
+      runner.map_points(cells, [](const DynamicConfig& c) { return harness::run_dynamic(c); });
+  const auto& ra = results[0];
+  const auto& rb = results[1];
 
   harness::Table table{{"t_ms", "f1_norm", "f2_norm", "f3_norm", "f4_norm", "B_a_util", "B_b_util"}};
   auto norm = [](const std::vector<double>& v, std::size_t b) {

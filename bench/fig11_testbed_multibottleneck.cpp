@@ -14,6 +14,7 @@
 #include "harness/csv.hpp"
 #include "harness/options.hpp"
 #include "harness/scenarios.hpp"
+#include "harness/sweep.hpp"
 
 using namespace amrt;
 using harness::ChainConfig;
@@ -48,8 +49,10 @@ harness::TimelineResult run(transport::Protocol proto, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const auto opts = harness::parse_bench_options(argc, argv);
 
-  harness::TimelineResult results[4];
-  for (int p = 0; p < 4; ++p) results[p] = run(kProtos[p], opts.seed);
+  harness::SweepRunner runner = harness::make_bench_runner(opts, "fig11");
+  const std::vector<transport::Protocol> protos(std::begin(kProtos), std::end(kProtos));
+  const auto results =
+      runner.map_points(protos, [&](transport::Protocol p) { return run(p, opts.seed); });
 
   std::printf("Fig. 11 reproduction: multi-bottleneck testbed comparison (1GbE)\n\n");
   harness::Table fct{{"flow", "pHost_ms", "Homa_ms", "NDP_ms", "AMRT_ms", "AMRT_vs_pHost",

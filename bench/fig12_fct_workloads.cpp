@@ -10,8 +10,8 @@
 #include <iostream>
 
 #include "harness/csv.hpp"
-#include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/sweep.hpp"
 
 using namespace amrt;
 using harness::ExperimentConfig;
@@ -46,13 +46,13 @@ int main(int argc, char** argv) {
   std::printf("Fig. 12 reproduction: FCT vs load (%s scale, seed %llu)\n",
               opts.paper_scale ? "paper" : "laptop", static_cast<unsigned long long>(opts.seed));
 
+  // One sweep point per (workload, load, protocol) cell, protocol innermost.
+  std::vector<ExperimentConfig> points;
   for (auto wk : workload::kAllKinds) {
     for (double load : loads) {
-      double afct[4] = {0, 0, 0, 0};
-      double p99[4] = {0, 0, 0, 0};
-      for (int p = 0; p < 4; ++p) {
+      for (auto proto : kProtos) {
         ExperimentConfig cfg;
-        cfg.proto = kProtos[p];
+        cfg.proto = proto;
         cfg.workload = wk;
         cfg.load = load;
         cfg.n_flows = opts.scaled(base_flows(wk));
@@ -63,7 +63,22 @@ int main(int argc, char** argv) {
           cfg.hosts_per_leaf = 40;
           cfg.link_delay = sim::Duration::microseconds(100);
         }
-        const auto r = harness::run_leaf_spine(cfg);
+        points.push_back(cfg);
+      }
+    }
+  }
+
+  harness::SweepRunner runner = harness::make_bench_runner(opts, "fig12");
+  const auto results = runner.run(points);
+  harness::export_json_if_requested(opts, points, results);
+
+  std::size_t idx = 0;
+  for (auto wk : workload::kAllKinds) {
+    for (double load : loads) {
+      double afct[4] = {0, 0, 0, 0};
+      double p99[4] = {0, 0, 0, 0};
+      for (int p = 0; p < 4; ++p) {
+        const auto& r = results[idx++];
         afct[p] = r.fct_all.afct_us;
         p99[p] = r.fct_all.p99_us;
         std::fprintf(stderr, "  [%s %s load=%.1f] afct=%.1fus p99=%.1fus done=%zu/%zu wall=%.1fs\n",

@@ -9,8 +9,8 @@
 #include <iostream>
 
 #include "harness/csv.hpp"
-#include "harness/experiment.hpp"
 #include "harness/options.hpp"
+#include "harness/sweep.hpp"
 
 using namespace amrt;
 using harness::ExperimentConfig;
@@ -33,12 +33,12 @@ int main(int argc, char** argv) {
   std::printf("Fig. 13 reproduction: bottleneck utilization vs flow count (%s scale)\n",
               opts.paper_scale ? "paper" : "laptop");
 
+  std::vector<ExperimentConfig> points;
   for (auto wk : workload::kAllKinds) {
     for (std::size_t n : flow_counts) {
-      double util[4] = {0, 0, 0, 0};
-      for (int p = 0; p < 4; ++p) {
+      for (auto proto : kProtos) {
         ExperimentConfig cfg;
-        cfg.proto = kProtos[p];
+        cfg.proto = proto;
         cfg.workload = wk;
         cfg.load = 0.6;  // a busy fabric, short of saturation
         cfg.n_flows = static_cast<std::size_t>(static_cast<double>(n) * opts.scale);
@@ -49,11 +49,26 @@ int main(int argc, char** argv) {
           cfg.hosts_per_leaf = 40;
           cfg.link_delay = sim::Duration::microseconds(100);
         }
-        const auto r = harness::run_leaf_spine(cfg);
+        points.push_back(cfg);
+      }
+    }
+  }
+
+  harness::SweepRunner runner = harness::make_bench_runner(opts, "fig13");
+  const auto results = runner.run(points);
+  harness::export_json_if_requested(opts, points, results);
+
+  std::size_t idx = 0;
+  for (auto wk : workload::kAllKinds) {
+    for (std::size_t n : flow_counts) {
+      double util[4] = {0, 0, 0, 0};
+      for (int p = 0; p < 4; ++p) {
+        const auto& r = results[idx];
         util[p] = r.mean_utilization;
         std::fprintf(stderr, "  [%s %s n=%zu] util=%.3f done=%zu/%zu wall=%.1fs\n",
-                     workload::abbrev(wk), transport::to_string(kProtos[p]), cfg.n_flows, util[p],
-                     r.flows_completed, r.flows_started, r.wall_seconds);
+                     workload::abbrev(wk), transport::to_string(kProtos[p]), points[idx].n_flows,
+                     util[p], r.flows_completed, r.flows_started, r.wall_seconds);
+        ++idx;
       }
       auto gain = [&](int base) { return util[base] > 0 ? (util[3] - util[base]) / util[base] : 0.0; };
       table.add_row({workload::abbrev(wk), std::to_string(n), harness::fmt_pct(util[0]),

@@ -12,6 +12,7 @@
 #include "harness/csv.hpp"
 #include "harness/options.hpp"
 #include "harness/scenarios.hpp"
+#include "harness/sweep.hpp"
 
 using namespace amrt;
 using harness::ManyToManyConfig;
@@ -22,23 +23,15 @@ struct Cell {
   double max_q = 0;
 };
 
-Cell averaged(transport::Protocol proto, int overcommit, double ratio, std::uint64_t seed,
-              int repeats) {
-  Cell out;
-  for (int rep = 0; rep < repeats; ++rep) {
-    ManyToManyConfig cfg;
-    cfg.proto = proto;
-    cfg.homa_overcommit = overcommit;
-    cfg.responsive_ratio = ratio;
-    cfg.seed = seed + static_cast<std::uint64_t>(rep) * 7919;
-    const auto r = harness::run_many_to_many(cfg);
-    out.util += r.mean_downlink_util;
-    out.max_q += static_cast<double>(r.max_queue_pkts);
-  }
-  out.util /= repeats;
-  out.max_q /= repeats;
-  return out;
-}
+// The four table columns per ratio row: Homa K=2/4/8 and AMRT.
+struct Variant {
+  transport::Protocol proto;
+  int overcommit;
+};
+constexpr Variant kVariants[] = {{transport::Protocol::kHoma, 2},
+                                 {transport::Protocol::kHoma, 4},
+                                 {transport::Protocol::kHoma, 8},
+                                 {transport::Protocol::kAmrt, 2}};
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,16 +44,48 @@ int main(int argc, char** argv) {
 
   std::printf("Fig. 14 reproduction: utilization & queueing vs responsive sender ratio (%d repeats)\n",
               repeats);
+
+  // Flatten ratio x variant x repeat into one sweep; repeats only differ in
+  // seed and are averaged per (ratio, variant) cell afterwards.
+  std::vector<double> ratios;
   for (double ratio = 0.1; ratio <= 1.001; ratio += opts.paper_scale ? 0.1 : 0.2) {
-    const Cell k2 = averaged(transport::Protocol::kHoma, 2, ratio, opts.seed, repeats);
-    const Cell k4 = averaged(transport::Protocol::kHoma, 4, ratio, opts.seed, repeats);
-    const Cell k8 = averaged(transport::Protocol::kHoma, 8, ratio, opts.seed, repeats);
-    const Cell am = averaged(transport::Protocol::kAmrt, 2, ratio, opts.seed, repeats);
-    table.add_row({harness::fmt(ratio, 1), harness::fmt_pct(k2.util), harness::fmt_pct(k4.util),
-                   harness::fmt_pct(k8.util), harness::fmt_pct(am.util), harness::fmt(k2.max_q, 0),
-                   harness::fmt(k4.max_q, 0), harness::fmt(k8.max_q, 0),
-                   harness::fmt(am.max_q, 0)});
-    std::fprintf(stderr, "  ratio %.1f done\n", ratio);
+    ratios.push_back(ratio);
+  }
+  std::vector<ManyToManyConfig> points;
+  for (double ratio : ratios) {
+    for (const auto& v : kVariants) {
+      for (int rep = 0; rep < repeats; ++rep) {
+        ManyToManyConfig cfg;
+        cfg.proto = v.proto;
+        cfg.homa_overcommit = v.overcommit;
+        cfg.responsive_ratio = ratio;
+        cfg.seed = opts.seed + static_cast<std::uint64_t>(rep) * 7919;
+        points.push_back(cfg);
+      }
+    }
+  }
+
+  harness::SweepRunner runner = harness::make_bench_runner(opts, "fig14");
+  const auto results = runner.map_points(
+      points, [](const ManyToManyConfig& cfg) { return harness::run_many_to_many(cfg); });
+
+  std::size_t idx = 0;
+  for (double ratio : ratios) {
+    Cell cells[4];
+    for (auto& cell : cells) {
+      for (int rep = 0; rep < repeats; ++rep) {
+        const auto& r = results[idx++];
+        cell.util += r.mean_downlink_util;
+        cell.max_q += static_cast<double>(r.max_queue_pkts);
+      }
+      cell.util /= repeats;
+      cell.max_q /= repeats;
+    }
+    table.add_row({harness::fmt(ratio, 1), harness::fmt_pct(cells[0].util),
+                   harness::fmt_pct(cells[1].util), harness::fmt_pct(cells[2].util),
+                   harness::fmt_pct(cells[3].util), harness::fmt(cells[0].max_q, 0),
+                   harness::fmt(cells[1].max_q, 0), harness::fmt(cells[2].max_q, 0),
+                   harness::fmt(cells[3].max_q, 0)});
   }
 
   if (opts.csv) table.print_csv(std::cout); else table.print(std::cout);

@@ -10,6 +10,7 @@
 #include "harness/csv.hpp"
 #include "harness/options.hpp"
 #include "harness/scenarios.hpp"
+#include "harness/sweep.hpp"
 
 using namespace amrt;
 
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
                         "trims", "goodput_gbps"}};
 
   std::printf("Incast sweep: synchronized fan-in, 64KB per sender, 8-packet buffers\n");
+  std::vector<harness::IncastConfig> points;
   for (int n : {8, 16, 32, 64}) {
     for (auto proto : {transport::Protocol::kPhost, transport::Protocol::kHoma,
                        transport::Protocol::kNdp, transport::Protocol::kAmrt}) {
@@ -27,13 +29,23 @@ int main(int argc, char** argv) {
       cfg.senders = n;
       cfg.queues.buffer_pkts = 8;
       cfg.queues.trim_threshold = 8;
-      const auto r = harness::run_incast(cfg);
-      table.add_row({std::to_string(n), transport::to_string(proto), harness::fmt(r.fct.afct_us, 1),
-                     harness::fmt(r.fct.p99_us, 1),
-                     std::to_string(r.fct.completed) + "/" + std::to_string(n),
-                     std::to_string(r.max_queue_pkts), std::to_string(r.drops),
-                     std::to_string(r.trims), harness::fmt(r.goodput_gbps)});
+      cfg.seed = opts.seed;
+      points.push_back(cfg);
     }
+  }
+
+  harness::SweepRunner runner = harness::make_bench_runner(opts, "incast");
+  const auto results = runner.map_points(
+      points, [](const harness::IncastConfig& cfg) { return harness::run_incast(cfg); });
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& cfg = points[i];
+    const auto& r = results[i];
+    table.add_row({std::to_string(cfg.senders), transport::to_string(cfg.proto),
+                   harness::fmt(r.fct.afct_us, 1), harness::fmt(r.fct.p99_us, 1),
+                   std::to_string(r.fct.completed) + "/" + std::to_string(cfg.senders),
+                   std::to_string(r.max_queue_pkts), std::to_string(r.drops),
+                   std::to_string(r.trims), harness::fmt(r.goodput_gbps)});
   }
   if (opts.csv) table.print_csv(std::cout); else table.print(std::cout);
   return 0;

@@ -29,8 +29,9 @@ struct Result {
 };
 
 Result run(transport::Protocol proto, int workers, std::uint64_t gradient_bytes) {
-  sim::Scheduler sched;
-  net::Network network{sched};
+  sim::Simulation sim;
+  sim::Scheduler& sched = sim.scheduler();
+  net::Network network{sim};
 
   net::LeafSpineConfig topo_cfg;
   topo_cfg.leaves = 4;
@@ -47,7 +48,7 @@ Result run(transport::Protocol proto, int workers, std::uint64_t gradient_bytes)
   stats::FctRecorder recorder{topo_cfg.link_rate, topo.base_rtt};
   std::vector<transport::TransportEndpoint*> eps;
   for (auto* h : topo.hosts) {
-    auto ep = core::make_endpoint(proto, sched, *h, tcfg, &recorder);
+    auto ep = core::make_endpoint(proto, sim, *h, tcfg, &recorder);
     eps.push_back(ep.get());
     h->attach(std::move(ep));
   }

@@ -2,7 +2,7 @@
 // handful of flows and print their completion times.
 //
 // This is the smallest end-to-end use of the public API:
-//   Scheduler -> Network/build_leaf_spine -> make_endpoint -> start_flow
+//   Simulation -> Network/build_leaf_spine -> make_endpoint -> start_flow
 // Everything else in the repository (benches, tests, other examples) is a
 // bigger arrangement of the same pieces.
 #include <cstdio>
@@ -13,8 +13,8 @@
 using namespace amrt;
 
 int main() {
-  sim::Scheduler sched;
-  net::Network network{sched};
+  sim::Simulation sim;
+  net::Network network{sim};
 
   // A 2-leaf / 2-spine fabric with four hosts per leaf, 10Gbps links.
   net::LeafSpineConfig topo_cfg;
@@ -35,7 +35,7 @@ int main() {
 
   std::vector<transport::TransportEndpoint*> endpoints;
   for (net::Host* host : topo.hosts) {
-    auto ep = core::make_endpoint(transport::Protocol::kAmrt, sched, *host, tcfg, &recorder);
+    auto ep = core::make_endpoint(transport::Protocol::kAmrt, sim, *host, tcfg, &recorder);
     endpoints.push_back(ep.get());
     host->attach(std::move(ep));
   }
@@ -53,7 +53,7 @@ int main() {
     endpoints[d.src]->start_flow(spec);
   }
 
-  sched.run_until(sim::TimePoint::zero() + sim::Duration::milliseconds(100));
+  sim.run_until(sim::TimePoint::zero() + sim::Duration::milliseconds(100));
 
   std::printf("base RTT: %s, BDP: %u packets\n\n", topo.base_rtt.str().c_str(), tcfg.bdp_packets());
   std::printf("%-8s %-12s %-12s %-10s\n", "flow", "bytes", "fct", "slowdown");
@@ -66,7 +66,7 @@ int main() {
                 r.fct().to_micros() / ideal_us);
   }
   std::printf("\n%zu/%zu flows completed, %llu events, sim time %s\n", recorder.completed().size(),
-              recorder.started_count(), static_cast<unsigned long long>(sched.events_processed()),
-              sched.now().str().c_str());
+              recorder.started_count(), static_cast<unsigned long long>(sim.events_processed()),
+              sim.now().str().c_str());
   return recorder.completed().size() == 3 ? 0 : 1;
 }

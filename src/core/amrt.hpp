@@ -16,9 +16,9 @@ namespace amrt::core {
 
 class AmrtEndpoint final : public transport::ReceiverDrivenEndpoint {
  public:
-  AmrtEndpoint(sim::Scheduler& sched, net::Host& host, transport::TransportConfig cfg,
+  AmrtEndpoint(sim::Simulation& sim, net::Host& host, transport::TransportConfig cfg,
                stats::FlowObserver* observer)
-      : ReceiverDrivenEndpoint{sched, host, cfg, observer, transport::Protocol::kAmrt} {}
+      : ReceiverDrivenEndpoint{sim, host, cfg, observer, transport::Protocol::kAmrt} {}
 
   [[nodiscard]] std::uint64_t marked_grants_sent() const { return marked_grants_; }
 

@@ -9,19 +9,19 @@ namespace amrt::core {
 
 using transport::Protocol;
 
-std::unique_ptr<transport::TransportEndpoint> make_endpoint(Protocol proto, sim::Scheduler& sched,
+std::unique_ptr<transport::TransportEndpoint> make_endpoint(Protocol proto, sim::Simulation& sim,
                                                             net::Host& host,
                                                             const transport::TransportConfig& cfg,
                                                             stats::FlowObserver* observer) {
   switch (proto) {
     case Protocol::kAmrt:
-      return std::make_unique<AmrtEndpoint>(sched, host, cfg, observer);
+      return std::make_unique<AmrtEndpoint>(sim, host, cfg, observer);
     case Protocol::kPhost:
-      return std::make_unique<transport::PhostEndpoint>(sched, host, cfg, observer);
+      return std::make_unique<transport::PhostEndpoint>(sim, host, cfg, observer);
     case Protocol::kHoma:
-      return std::make_unique<transport::HomaEndpoint>(sched, host, cfg, observer);
+      return std::make_unique<transport::HomaEndpoint>(sim, host, cfg, observer);
     case Protocol::kNdp:
-      return std::make_unique<transport::NdpEndpoint>(sched, host, cfg, observer);
+      return std::make_unique<transport::NdpEndpoint>(sim, host, cfg, observer);
   }
   return nullptr;
 }

@@ -14,7 +14,7 @@
 namespace amrt::core {
 
 [[nodiscard]] std::unique_ptr<transport::TransportEndpoint> make_endpoint(
-    transport::Protocol proto, sim::Scheduler& sched, net::Host& host,
+    transport::Protocol proto, sim::Simulation& sim, net::Host& host,
     const transport::TransportConfig& cfg, stats::FlowObserver* observer);
 
 struct QueueConfig {

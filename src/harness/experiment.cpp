@@ -7,7 +7,6 @@
 
 #include "net/monitor.hpp"
 #include "net/topology.hpp"
-#include "sim/trace.hpp"
 
 namespace amrt::harness {
 
@@ -52,8 +51,9 @@ PortUtilization active_window_utilization(const net::PortSampler& sampler) {
 ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   const auto wall_start = std::chrono::steady_clock::now();
 
-  sim::Scheduler sched;
-  net::Network network{sched};
+  sim::Simulation simu{cfg.seed};
+  sim::Scheduler& sched = simu.scheduler();
+  net::Network network{simu};
 
   net::LeafSpineConfig topo_cfg;
   topo_cfg.leaves = cfg.leaves;
@@ -77,14 +77,13 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   std::vector<transport::TransportEndpoint*> endpoints;
   endpoints.reserve(topo.hosts.size());
   for (net::Host* host : topo.hosts) {
-    auto ep = core::make_endpoint(cfg.proto, sched, *host, tcfg, &recorder);
+    auto ep = core::make_endpoint(cfg.proto, simu, *host, tcfg, &recorder);
     endpoints.push_back(ep.get());
     host->attach(std::move(ep));
   }
 
-  // Workload.
-  sim::Rng rng{cfg.seed};
-  workload::FlowGenerator gen{workload::cdf(cfg.workload), rng};
+  // Workload, drawn from the simulation's own random stream.
+  workload::FlowGenerator gen{workload::cdf(cfg.workload), simu.rng()};
   workload::TrafficConfig traffic;
   traffic.load = cfg.load;
   traffic.n_flows = cfg.n_flows;
@@ -107,15 +106,15 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   for (int l = 0; l < cfg.leaves; ++l) {
     for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
       downlinks.push_back(std::make_unique<net::PortSampler>(
-          sched, topo.leaves[l]->port(topo.leaf_down[l][h]), cfg.sample_interval));
+          simu, topo.leaves[l]->port(topo.leaf_down[l][h]), cfg.sample_interval));
       downlinks.back()->start();
     }
     for (int s = 0; s < cfg.spines; ++s) {
       fabric.push_back(std::make_unique<net::PortSampler>(
-          sched, topo.leaves[l]->port(topo.leaf_up[l][s]), cfg.sample_interval));
+          simu, topo.leaves[l]->port(topo.leaf_up[l][s]), cfg.sample_interval));
       fabric.back()->start();
       fabric.push_back(std::make_unique<net::PortSampler>(
-          sched, topo.spines[s]->port(topo.spine_down[s][l]), cfg.sample_interval));
+          simu, topo.spines[s]->port(topo.spine_down[s][l]), cfg.sample_interval));
       fabric.back()->start();
     }
   }
@@ -172,9 +171,10 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
   if (out.flows_completed < out.flows_started) {
-    AMRT_WARN("run_leaf_spine[%s/%s]: %zu of %zu flows incomplete at t=%s",
-              transport::to_string(cfg.proto), workload::abbrev(cfg.workload),
-              out.flows_started - out.flows_completed, out.flows_started, sched.now().str().c_str());
+    simu.trace().warn("run_leaf_spine[%s/%s]: %zu of %zu flows incomplete at t=%s",
+                      transport::to_string(cfg.proto), workload::abbrev(cfg.workload),
+                      out.flows_started - out.flows_completed, out.flows_started,
+                      sched.now().str().c_str());
   }
   return out;
 }

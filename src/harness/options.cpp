@@ -49,9 +49,14 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       opts.loads = parse_list(*loads);
     } else if (auto scale = value_of("--scale=")) {
       opts.scale = std::stod(*scale);
+    } else if (auto threads = value_of("--threads=")) {
+      opts.threads = static_cast<unsigned>(std::stoul(*threads));
+    } else if (auto json = value_of("--json=")) {
+      opts.json_path = *json;
     } else if (arg == "--help" || arg == "-h") {
       throw std::invalid_argument(
-          "options: --paper-scale --csv --flows=N --seed=S --loads=a,b,c --scale=X");
+          "options: --paper-scale --csv --flows=N --seed=S --loads=a,b,c --scale=X "
+          "--threads=N --json=PATH");
     }
     // Unknown flags are ignored so google-benchmark style flags pass through.
   }

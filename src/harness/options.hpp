@@ -6,8 +6,12 @@
 //   --seed=S           RNG seed
 //   --loads=a,b,c      subset of load points (fig12)
 //   --csv              emit CSV instead of aligned tables
-// plus AMRT_BENCH_SCALE (a float multiplier on flow counts) from the
-// environment, so CI can shrink everything uniformly.
+//   --threads=N        sweep worker threads (0 = one per core)
+//   --json=PATH        dump sweep results as JSON (benches that sweep
+//                      ExperimentConfig points)
+// plus AMRT_BENCH_SCALE (a float multiplier on flow counts) and
+// AMRT_SWEEP_THREADS from the environment, so CI can shrink everything
+// uniformly.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +28,8 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   std::vector<double> loads;   // empty = bench default
   double scale = 1.0;          // from AMRT_BENCH_SCALE
+  unsigned threads = 0;        // sweep workers; 0 = one per core
+  std::string json_path;       // empty = no JSON export
 
   // Applies `scale` to a default count, with a sane floor.
   [[nodiscard]] std::size_t scaled(std::size_t base) const;

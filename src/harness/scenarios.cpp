@@ -17,14 +17,15 @@ using transport::TransportEndpoint;
 // Shared plumbing for the fixed scenarios: endpoints, recorder, throughput
 // tracker and flow scheduling.
 struct Rig {
-  sim::Scheduler sched;
-  net::Network network{sched};
+  sim::Simulation sim;
+  sim::Scheduler& sched;
+  net::Network network{sim};
   stats::FctRecorder recorder;
   stats::FlowThroughputTracker throughput;
   std::vector<TransportEndpoint*> endpoints;  // parallel to network.hosts()
 
-  Rig(sim::Bandwidth rate, sim::Duration base_rtt, sim::Duration bin)
-      : recorder{rate, base_rtt}, throughput{bin} {
+  Rig(std::uint64_t seed, sim::Bandwidth rate, sim::Duration base_rtt, sim::Duration bin)
+      : sim{seed}, sched{sim.scheduler()}, recorder{rate, base_rtt}, throughput{bin} {
     recorder.set_progress_hook([this](std::uint64_t flow, std::uint64_t delta, sim::TimePoint at) {
       throughput.record(flow, delta, at);
     });
@@ -37,17 +38,16 @@ struct Rig {
 
   void attach_endpoints(transport::Protocol proto, const transport::TransportConfig& tcfg) {
     for (auto& host : network.hosts()) {
-      auto ep = core::make_endpoint(proto, sched, *host, tcfg, &recorder);
+      auto ep = core::make_endpoint(proto, sim, *host, tcfg, &recorder);
       endpoints.push_back(ep.get());
       host->attach(std::move(ep));
     }
   }
 
   void schedule_flow(std::size_t src_host_idx, std::size_t dst_host_idx, net::FlowId id,
-                     std::uint64_t bytes, sim::Duration start, sim::Duration jitter,
-                     sim::Rng& rng) {
+                     std::uint64_t bytes, sim::Duration start, sim::Duration jitter) {
     if (jitter > sim::Duration::zero()) {
-      start += sim::Duration::nanoseconds(rng.uniform_int(0, jitter.ns()));
+      start += sim::Duration::nanoseconds(sim.rng().uniform_int(0, jitter.ns()));
     }
     FlowSpec spec{id, network.host(src_host_idx).id(), network.host(dst_host_idx).id(), bytes,
                   sim::TimePoint::zero() + start};
@@ -88,7 +88,7 @@ TimelineResult run_chain(const ChainConfig& cfg) {
   const auto delay = cfg.link_delay;
   const auto base_rtt = net::path_base_rtt(4, rate, delay);
 
-  Rig rig{rate, base_rtt, cfg.bin};
+  Rig rig{cfg.seed, rate, base_rtt, cfg.bin};
   auto qf = core::make_queue_factory(cfg.proto, cfg.queues);
   auto mf = core::make_marker_factory(cfg.proto);
   auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
@@ -151,14 +151,13 @@ TimelineResult run_chain(const ChainConfig& cfg) {
   tcfg.homa_overcommit = cfg.homa_overcommit;
   rig.attach_endpoints(cfg.proto, tcfg);
 
-  sim::Rng jitter_rng{cfg.seed};
   for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
     rig.schedule_flow(pairs[i].src, pairs[i].dst, i + 1, cfg.flows[i].bytes, cfg.flows[i].start,
-                      cfg.start_jitter, jitter_rng);
+                      cfg.start_jitter);
   }
 
-  net::PortSampler sampler1{rig.sched, b1, cfg.bin};
-  net::PortSampler sampler2{rig.sched, b2, cfg.bin};
+  net::PortSampler sampler1{rig.sim, b1, cfg.bin};
+  net::PortSampler sampler2{rig.sim, b2, cfg.bin};
   sampler1.start();
   sampler2.start();
 
@@ -187,7 +186,7 @@ TimelineResult run_dynamic(const DynamicConfig& cfg) {
   const auto delay = cfg.link_delay;
   const auto base_rtt = net::path_base_rtt(3, rate, delay);
 
-  Rig rig{rate, base_rtt, cfg.bin};
+  Rig rig{cfg.seed, rate, base_rtt, cfg.bin};
   auto qf = core::make_queue_factory(cfg.proto, cfg.queues);
   auto mf = core::make_marker_factory(cfg.proto, cfg.marker_probe_bytes);
   auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
@@ -219,13 +218,12 @@ TimelineResult run_dynamic(const DynamicConfig& cfg) {
   tcfg.amrt_marked_allowance = cfg.amrt_marked_allowance;
   rig.attach_endpoints(cfg.proto, tcfg);
 
-  sim::Rng jitter_rng{cfg.seed};
   for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
     rig.schedule_flow(srcs[i], dsts[i], i + 1, cfg.flows[i].bytes, cfg.flows[i].start,
-                      cfg.start_jitter, jitter_rng);
+                      cfg.start_jitter);
   }
 
-  net::PortSampler sampler{rig.sched, bottleneck, cfg.bin};
+  net::PortSampler sampler{rig.sim, bottleneck, cfg.bin};
   sampler.start();
   rig.sched.run_until(sim::TimePoint::zero() + cfg.duration);
 
@@ -246,8 +244,9 @@ TimelineResult run_dynamic(const DynamicConfig& cfg) {
 // ---------------------------------------------------------------------------
 
 ManyToManyResult run_many_to_many(const ManyToManyConfig& cfg) {
-  sim::Scheduler sched;
-  net::Network network{sched};
+  sim::Simulation simu{cfg.seed};
+  sim::Scheduler& sched = simu.scheduler();
+  net::Network network{simu};
 
   net::LeafSpineConfig topo_cfg;
   topo_cfg.leaves = 3;
@@ -269,7 +268,7 @@ ManyToManyResult run_many_to_many(const ManyToManyConfig& cfg) {
   tcfg.unscheduled_start = false;
 
   stats::FctRecorder recorder{cfg.link_rate, topo.base_rtt};
-  sim::Rng rng{cfg.seed};
+  sim::Rng& rng = simu.rng();
 
   // Senders live under leaves 0 and 1; the two receivers under leaf 2.
   const int per_leaf = cfg.senders_per_leaf;
@@ -282,7 +281,7 @@ ManyToManyResult run_many_to_many(const ManyToManyConfig& cfg) {
       ep_cfg.responsive = rng.bernoulli(cfg.responsive_ratio);
       if (ep_cfg.responsive) ++out.responsive_senders;
     }
-    auto ep = core::make_endpoint(cfg.proto, sched, *topo.hosts[i], ep_cfg, &recorder);
+    auto ep = core::make_endpoint(cfg.proto, simu, *topo.hosts[i], ep_cfg, &recorder);
     endpoints[i] = ep.get();
     topo.hosts[i]->attach(std::move(ep));
   }
@@ -302,9 +301,9 @@ ManyToManyResult run_many_to_many(const ManyToManyConfig& cfg) {
     }
   }
 
-  net::PortSampler down0{sched, topo.leaves[2]->port(topo.leaf_down[2][0]),
+  net::PortSampler down0{simu, topo.leaves[2]->port(topo.leaf_down[2][0]),
                          sim::Duration::microseconds(100)};
-  net::PortSampler down1{sched, topo.leaves[2]->port(topo.leaf_down[2][1]),
+  net::PortSampler down1{simu, topo.leaves[2]->port(topo.leaf_down[2][1]),
                          sim::Duration::microseconds(100)};
   down0.start();
   down1.start();
@@ -334,8 +333,9 @@ IncastResult run_incast(const IncastConfig& cfg) {
   const auto delay = cfg.link_delay;
   const auto base_rtt = net::path_base_rtt(2, rate, delay);
 
-  sim::Scheduler sched;
-  net::Network network{sched};
+  sim::Simulation simu{cfg.seed};
+  sim::Scheduler& sched = simu.scheduler();
+  net::Network network{simu};
   auto qf = core::make_queue_factory(cfg.proto, cfg.queues);
   auto mf = core::make_marker_factory(cfg.proto);
   auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
@@ -362,7 +362,7 @@ IncastResult run_incast(const IncastConfig& cfg) {
   stats::FctRecorder recorder{rate, base_rtt};
   std::vector<transport::TransportEndpoint*> endpoints;
   for (auto& host : network.hosts()) {
-    auto ep = core::make_endpoint(cfg.proto, sched, *host, tcfg, &recorder);
+    auto ep = core::make_endpoint(cfg.proto, simu, *host, tcfg, &recorder);
     endpoints.push_back(ep.get());
     host->attach(std::move(ep));
   }
@@ -374,7 +374,7 @@ IncastResult run_incast(const IncastConfig& cfg) {
     sched.at(spec.start, [ep, spec] { ep->start_flow(spec); });
   }
 
-  net::PortSampler down{sched, sw.port(recv_down), sim::Duration::microseconds(10)};
+  net::PortSampler down{simu, sw.port(recv_down), sim::Duration::microseconds(10)};
   down.start();
 
   const std::size_t expected = static_cast<std::size_t>(cfg.senders);

@@ -139,6 +139,7 @@ struct IncastConfig {
   sim::Duration link_delay = sim::Duration::microseconds(5);
   core::QueueConfig queues{};
   sim::Duration max_time = sim::Duration::milliseconds(200);
+  std::uint64_t seed = 1;
 };
 
 struct IncastResult {

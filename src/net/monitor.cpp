@@ -4,8 +4,8 @@
 
 namespace amrt::net {
 
-PortSampler::PortSampler(sim::Scheduler& sched, const EgressPort& port, sim::Duration interval)
-    : sched_{sched}, port_{port}, interval_{interval} {}
+PortSampler::PortSampler(sim::Simulation& sim, const EgressPort& port, sim::Duration interval)
+    : sched_{sim.scheduler()}, port_{port}, interval_{interval} {}
 
 PortSampler::~PortSampler() { stop(); }
 

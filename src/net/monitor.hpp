@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "net/port.hpp"
-#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
 
 namespace amrt::net {
 
@@ -23,7 +23,7 @@ class PortSampler {
     std::uint64_t bytes_sent = 0;  // cumulative
   };
 
-  PortSampler(sim::Scheduler& sched, const EgressPort& port, sim::Duration interval);
+  PortSampler(sim::Simulation& sim, const EgressPort& port, sim::Duration interval);
   ~PortSampler();
   PortSampler(const PortSampler&) = delete;
   PortSampler& operator=(const PortSampler&) = delete;

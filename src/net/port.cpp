@@ -22,11 +22,32 @@ void EgressPort::add_marker(std::unique_ptr<DequeueMarker> marker) {
 
 void EgressPort::enqueue(Packet&& pkt) {
   queue_->enqueue(std::move(pkt));
-  if (!busy_) start_next_transmission();
+  if (!busy()) {
+    start_next_transmission();
+  } else {
+    ensure_wakeup();
+  }
+}
+
+void EgressPort::ensure_wakeup() {
+  if (wakeup_pending_) return;
+  wakeup_pending_ = true;
+  sched_.at(busy_until_, [this] { on_wakeup(); });
+}
+
+void EgressPort::on_wakeup() {
+  wakeup_pending_ = false;
+  if (busy()) {
+    // An enqueue at exactly the old busy_until_ beat us to the dequeue and
+    // started a new transmission; re-arm for its end if work is waiting.
+    if (!queue_->empty()) ensure_wakeup();
+    return;
+  }
+  start_next_transmission();
 }
 
 void EgressPort::start_next_transmission() {
-  assert(!busy_);
+  assert(!busy());
   auto next = queue_->dequeue();
   if (!next) return;
 
@@ -36,7 +57,6 @@ void EgressPort::start_next_transmission() {
   }
 
   sim::Duration tx = cfg_.rate.tx_time(next->wire_bytes);
-  busy_ = true;
   busy_time_ += tx;
   bytes_sent_ += next->wire_bytes;
   ++packets_sent_;
@@ -44,18 +64,21 @@ void EgressPort::start_next_transmission() {
     tx += sim::Duration::nanoseconds(jitter_rng_.uniform_int(0, cfg_.tx_jitter.ns()));
   }
 
-  // One event at transmission end handles both the link hand-off and the
-  // next dequeue; the propagation delay is folded into the delivery event.
-  sched_.after(tx, [this, pkt = std::move(*next)]() mutable {
-    last_tx_end_ = sched_.now();
-    busy_ = false;
-    if (peer_ != nullptr) {
-      sched_.after(cfg_.delay, [this, p = std::move(pkt)]() mutable {
-        peer_->handle_packet(std::move(p), peer_port_);
-      });
-    }
-    start_next_transmission();
-  });
+  // The serializer is a timestamp, not an event: markers above read
+  // last_tx_end_ as "end of the previous transmission", and the next dequeue
+  // can only run at/after busy_until_, so updating both eagerly is
+  // equivalent to updating them in a tx-end event — without paying for one.
+  busy_until_ = tx_start + tx;
+  last_tx_end_ = busy_until_;
+  if (!queue_->empty()) ensure_wakeup();
+
+  // Delivery at the peer after serialization + propagation. The packet moves
+  // once, and the lambda fits the scheduler's inline callback buffer.
+  if (peer_ != nullptr) {
+    sched_.after(tx + cfg_.delay, [peer = peer_, port = peer_port_, p = std::move(*next)]() mutable {
+      peer->handle_packet(std::move(p), port);
+    });
+  }
 }
 
 }  // namespace amrt::net

@@ -48,7 +48,7 @@ class EgressPort {
 
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] const EgressQueue& queue() const { return *queue_; }
-  [[nodiscard]] bool busy() const { return busy_; }
+  [[nodiscard]] bool busy() const { return sched_.now() < busy_until_; }
 
   // --- telemetry (read by monitors) ---
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -58,6 +58,11 @@ class EgressPort {
 
  private:
   void start_next_transmission();
+  // Arms (at most one) continuation event at `busy_until_`. The port keeps
+  // no standing tx-end event: an idle port parks with no event scheduled,
+  // and the serializer is woken only when a packet is actually waiting.
+  void ensure_wakeup();
+  void on_wakeup();
 
   sim::Scheduler& sched_;
   Config cfg_;
@@ -66,7 +71,8 @@ class EgressPort {
   Node* peer_ = nullptr;
   int peer_port_ = -1;
   sim::Rng jitter_rng_;
-  bool busy_ = false;
+  sim::TimePoint busy_until_ = sim::TimePoint::zero();  // end of in-flight transmission
+  bool wakeup_pending_ = false;
   sim::TimePoint last_tx_end_ = sim::TimePoint::zero();
 
   std::uint64_t bytes_sent_ = 0;

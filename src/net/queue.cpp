@@ -20,10 +20,8 @@ void EgressQueue::enqueue(Packet&& pkt) {
 
 std::optional<Packet> EgressQueue::dequeue() {
   if (!control_.empty()) {
-    Packet pkt = std::move(control_.front());
-    control_.pop_front();
     ++stats_.dequeued;
-    return pkt;
+    return control_.pop_front();
   }
   auto pkt = data_dequeue();
   if (pkt) ++stats_.dequeued;
@@ -41,9 +39,7 @@ bool DropTailQueue::data_enqueue(Packet&& pkt) {
 
 std::optional<Packet> DropTailQueue::data_dequeue() {
   if (fifo_.empty()) return std::nullopt;
-  Packet pkt = std::move(fifo_.front());
-  fifo_.pop_front();
-  return pkt;
+  return fifo_.pop_front();
 }
 
 bool TrimmingQueue::data_enqueue(Packet&& pkt) {
@@ -63,9 +59,7 @@ bool TrimmingQueue::data_enqueue(Packet&& pkt) {
 
 std::optional<Packet> TrimmingQueue::data_dequeue() {
   if (fifo_.empty()) return std::nullopt;
-  Packet pkt = std::move(fifo_.front());
-  fifo_.pop_front();
-  return pkt;
+  return fifo_.pop_front();
 }
 
 bool SelectiveDropQueue::data_enqueue(Packet&& pkt) {
@@ -75,9 +69,9 @@ bool SelectiveDropQueue::data_enqueue(Packet&& pkt) {
       return false;
     }
     // Scheduled traffic evicts the youngest blind packet, if any.
-    for (auto it = fifo_.rbegin(); it != fifo_.rend(); ++it) {
-      if (it->unscheduled) {
-        fifo_.erase(std::next(it).base());
+    for (std::size_t i = fifo_.size(); i-- > 0;) {
+      if (fifo_[i].unscheduled) {
+        fifo_.erase(i);
         ++stats_.dropped;
         fifo_.push_back(std::move(pkt));
         return true;
@@ -92,9 +86,7 @@ bool SelectiveDropQueue::data_enqueue(Packet&& pkt) {
 
 std::optional<Packet> SelectiveDropQueue::data_dequeue() {
   if (fifo_.empty()) return std::nullopt;
-  Packet pkt = std::move(fifo_.front());
-  fifo_.pop_front();
-  return pkt;
+  return fifo_.pop_front();
 }
 
 StrictPriorityQueue::StrictPriorityQueue(std::size_t bands, std::size_t capacity_pkts)
@@ -114,10 +106,8 @@ bool StrictPriorityQueue::data_enqueue(Packet&& pkt) {
 std::optional<Packet> StrictPriorityQueue::data_dequeue() {
   for (auto& band : bands_) {
     if (!band.empty()) {
-      Packet pkt = std::move(band.front());
-      band.pop_front();
       --size_;
-      return pkt;
+      return band.pop_front();
     }
   }
   return std::nullopt;

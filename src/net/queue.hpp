@@ -13,13 +13,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/ring_deque.hpp"
 
 namespace amrt::net {
 
@@ -58,7 +58,7 @@ class EgressQueue {
   QueueStats stats_;
 
  private:
-  std::deque<Packet> control_;
+  RingDeque<Packet> control_;
 };
 
 class DropTailQueue final : public EgressQueue {
@@ -73,7 +73,7 @@ class DropTailQueue final : public EgressQueue {
 
  private:
   std::size_t capacity_;
-  std::deque<Packet> fifo_;
+  RingDeque<Packet> fifo_;
 };
 
 class TrimmingQueue final : public EgressQueue {
@@ -89,7 +89,7 @@ class TrimmingQueue final : public EgressQueue {
 
  private:
   std::size_t threshold_;
-  std::deque<Packet> fifo_;
+  RingDeque<Packet> fifo_;
 };
 
 // Aeolus-style selective dropping (Hu et al., APNet'18 — cited as [11]):
@@ -110,7 +110,7 @@ class SelectiveDropQueue final : public EgressQueue {
 
  private:
   std::size_t capacity_;
-  std::deque<Packet> fifo_;
+  RingDeque<Packet> fifo_;
 };
 
 class StrictPriorityQueue final : public EgressQueue {
@@ -125,7 +125,7 @@ class StrictPriorityQueue final : public EgressQueue {
   std::size_t data_size() const override { return size_; }
 
  private:
-  std::vector<std::deque<Packet>> bands_;
+  std::vector<RingDeque<Packet>> bands_;
   std::size_t capacity_;
   std::size_t size_ = 0;
 };

@@ -16,13 +16,13 @@
 #include "net/marker.hpp"
 #include "net/queue.hpp"
 #include "net/switch.hpp"
-#include "sim/scheduler.hpp"
+#include "sim/simulation.hpp"
 
 namespace amrt::net {
 
 class Network {
  public:
-  explicit Network(sim::Scheduler& sched) : sched_{sched} {}
+  explicit Network(sim::Simulation& sim) : sim_{sim}, sched_{sim.scheduler()} {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -42,6 +42,7 @@ class Network {
   int attach_host(Host& host, Switch& sw, std::unique_ptr<EgressQueue> down_queue,
                   std::unique_ptr<DequeueMarker> down_marker = nullptr);
 
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] std::vector<std::unique_ptr<Host>>& hosts() { return hosts_; }
   [[nodiscard]] std::vector<std::unique_ptr<Switch>>& switches() { return switches_; }
@@ -51,6 +52,7 @@ class Network {
  private:
   [[nodiscard]] NodeId next_id() { return NodeId{next_id_++}; }
 
+  sim::Simulation& sim_;
   sim::Scheduler& sched_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> switches_;

@@ -1,60 +1,85 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 namespace amrt::sim {
 
-bool EventQueue::Compare::operator()(const std::shared_ptr<EventRecord>& a,
-                                     const std::shared_ptr<EventRecord>& b) const {
-  if (a->when != b->when) return a->when > b->when;  // min-heap on time
-  return a->seq > b->seq;                            // FIFO among equal times
-}
-
 void EventQueue::Handle::cancel() {
-  if (auto rec = rec_.lock(); rec && !rec->fired && !rec->cancelled) {
-    rec->cancelled = true;
-    rec->cb = nullptr;  // release captured state eagerly
-    if (auto live = rec->live_count.lock()) --*live;
-  }
+  if (q_ != nullptr) q_->cancel(slot_, gen_);
 }
 
-bool EventQueue::Handle::pending() const {
-  auto rec = rec_.lock();
-  return rec && !rec->fired && !rec->cancelled;
+bool EventQueue::Handle::pending() const { return q_ != nullptr && q_->pending(slot_, gen_); }
+
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = record(slot).next_free;
+    return slot;
+  }
+  if (slot_count_ % kSlabSize == 0) {
+    slabs_.push_back(std::make_unique<Record[]>(kSlabSize));
+  }
+  return slot_count_++;
+}
+
+void EventQueue::recycle_slot(std::uint32_t slot) {
+  Record& rec = record(slot);
+  rec.cb.reset();
+  rec.live = false;
+  ++rec.gen;  // invalidates every outstanding Handle to this slot
+  rec.next_free = free_head_;
+  free_head_ = slot;
 }
 
 EventQueue::Handle EventQueue::push(TimePoint when, Callback cb) {
-  auto rec = std::make_shared<EventRecord>();
-  rec->when = when;
-  rec->seq = next_seq_++;
-  rec->cb = std::move(cb);
-  rec->live_count = live_;
-  Handle h{rec};
-  heap_.push(std::move(rec));
-  ++*live_;
-  return h;
+  const std::uint32_t slot = alloc_slot();
+  Record& rec = record(slot);
+  rec.cb = std::move(cb);
+  rec.live = true;
+  heap_.push_back(HeapEntry{when.ns(), pack_seq_slot(next_seq_++, slot)});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  return Handle{this, slot, rec.gen};
+}
+
+void EventQueue::cancel(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= slot_count_) return;
+  Record& rec = record(slot);
+  if (rec.gen != gen || !rec.live) return;
+  rec.live = false;
+  rec.cb.reset();  // release captured state eagerly
+  --live_;
+}
+
+bool EventQueue::pending(std::uint32_t slot, std::uint32_t gen) const {
+  if (slot >= slot_count_) return false;
+  const Record& rec = record(slot);
+  return rec.gen == gen && rec.live;
 }
 
 void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+  while (!heap_.empty() && !record(entry_slot(heap_.front())).live) {
+    recycle_slot(entry_slot(heap_.front()));
+    pop_top();
+  }
 }
-
-bool EventQueue::empty() const { return *live_ == 0; }
-
-std::size_t EventQueue::size() const { return heap_.size(); }
 
 std::optional<TimePoint> EventQueue::next_time() {
   drop_cancelled();
   if (heap_.empty()) return std::nullopt;
-  return heap_.top()->when;
+  return TimePoint::from_ns(heap_.front().when_ns);
 }
 
 std::optional<EventQueue::Ready> EventQueue::pop() {
   drop_cancelled();
   if (heap_.empty()) return std::nullopt;
-  auto rec = heap_.top();
-  heap_.pop();
-  rec->fired = true;
-  --*live_;
-  return Ready{rec->when, std::move(rec->cb)};
+  const HeapEntry top = heap_.front();
+  const std::uint32_t slot = entry_slot(top);
+  pop_top();
+  Ready out{TimePoint::from_ns(top.when_ns), std::move(record(slot).cb)};
+  recycle_slot(slot);
+  --live_;
+  return out;
 }
 
 }  // namespace amrt::sim

@@ -4,25 +4,37 @@
 // increasing sequence number breaks ties), which makes every simulation in
 // this repository deterministic for a fixed seed.
 //
-// Cancellation is O(1) and lazy: a cancelled record stays in the heap until
-// it reaches the top and is skipped. Handles are weak: destroying a Handle
-// does not cancel the event.
+// Layout: event records live in fixed slabs that never move, recycled
+// through a freelist, and the priority heap is a 4-ary min-heap of 16-byte
+// POD entries (time, packed seq+slot) — half the levels of a binary heap
+// and four entries per cache line, so a sift touches fewer lines. Together with the small-buffer
+// `InplaceCallback` this makes steady-state push/pop allocation-free —
+// slabs and heap capacity are retained across the whole run.
+//
+// Handles are weak references carrying a generation counter: destroying a
+// Handle does not cancel the event, and a Handle whose slot has been
+// recycled becomes inert (cancel is a no-op, pending() is false). A Handle
+// must not outlive its EventQueue. Cancellation is O(1) and lazy: a
+// cancelled record keeps its heap entry until it reaches the top and is
+// skipped, so `size()` over-counts — use `live_size()` for the number of
+// events that will actually fire.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace amrt::sim {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InplaceCallback;
 
   class Handle {
    public:
@@ -33,14 +45,41 @@ class EventQueue {
 
    private:
     friend class EventQueue;
-    explicit Handle(std::weak_ptr<struct EventRecord> rec) : rec_{std::move(rec)} {}
-    std::weak_ptr<struct EventRecord> rec_;
+    Handle(EventQueue* q, std::uint32_t slot, std::uint32_t gen)
+        : q_{q}, slot_{slot}, gen_{gen} {}
+    EventQueue* q_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
   };
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
 
   Handle push(TimePoint when, Callback cb);
 
-  [[nodiscard]] bool empty() const;
-  [[nodiscard]] std::size_t size() const;  // includes not-yet-skipped cancelled records
+  // Fast path: constructs the callable directly in the slab record, with no
+  // intermediate InplaceCallback move. Lambdas land here; a pre-built
+  // Callback takes the overload above.
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Callback> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Handle push(TimePoint when, F&& f) {
+    const std::uint32_t slot = alloc_slot();
+    Record& rec = record(slot);
+    rec.cb.assign(std::forward<F>(f));
+    rec.live = true;
+    heap_.push_back(HeapEntry{when.ns(), pack_seq_slot(next_seq_++, slot)});
+    sift_up(heap_.size() - 1);
+    ++live_;
+    return Handle{this, slot, rec.gen};
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  // Heap entries, including cancelled-but-unskipped records.
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  // Events that will actually fire.
+  [[nodiscard]] std::size_t live_size() const { return live_; }
   // Timestamp of the earliest live event, if any.
   [[nodiscard]] std::optional<TimePoint> next_time();
 
@@ -51,26 +90,130 @@ class EventQueue {
   // Removes and returns the earliest live event.
   [[nodiscard]] std::optional<Ready> pop();
 
+  // Fires the earliest live event if its timestamp is <= `horizon`: calls
+  // `pre(when)` (the scheduler advances its clock here), then invokes the
+  // callback *in place* in its slab record — no callback move — and recycles
+  // the slot. Returns false if the queue is empty or the head is past the
+  // horizon. This is the dispatch fast path; `pop()` stays for callers that
+  // need to take ownership of the callback.
+  template <typename PreFire>
+  bool fire_next(TimePoint horizon, PreFire&& pre) {
+    drop_cancelled();
+    if (heap_.empty() || heap_.front().when_ns > horizon.ns()) return false;
+    const HeapEntry top = heap_.front();
+    const std::uint32_t slot = entry_slot(top);
+    pop_top();
+    Record& rec = record(slot);
+    // Handles go inert before the callback runs, matching pop(): an event
+    // that cancels its own handle mid-flight is a no-op. The record itself
+    // stays put even if the callback pushes new events (slabs never move).
+    rec.live = false;
+    --live_;
+    pre(TimePoint::from_ns(top.when_ns));
+    try {
+      rec.cb();
+    } catch (...) {
+      recycle_slot(slot);
+      throw;
+    }
+    recycle_slot(slot);
+    return true;
+  }
+
  private:
+  static constexpr std::uint32_t kSlabSize = 256;  // records per slab
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+  struct Record {
+    Callback cb;
+    std::uint32_t gen = 0;        // bumped on every recycle; pairs with Handle
+    std::uint32_t next_free = 0;  // freelist link while the slot is free
+    bool live = false;            // scheduled and not cancelled/fired
+  };
+
+  // 16-byte heap entry: the insertion sequence number (upper 40 bits, ~10^12
+  // events) and the slot index (lower 24 bits, ~16M concurrent events) share
+  // one word. Since sequence numbers are unique, comparing the packed word
+  // for equal timestamps is exactly the FIFO tie-break — the slot bits never
+  // decide an ordering. Four entries per cache line.
+  struct HeapEntry {
+    std::int64_t when_ns;
+    std::uint64_t seq_slot;
+  };
+  static constexpr std::uint32_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+  [[nodiscard]] static std::uint32_t entry_slot(const HeapEntry& e) {
+    return static_cast<std::uint32_t>(e.seq_slot & kSlotMask);
+  }
+  [[nodiscard]] static std::uint64_t pack_seq_slot(std::uint64_t seq, std::uint32_t slot) {
+    assert(slot <= kSlotMask && seq < (std::uint64_t{1} << (64 - kSlotBits)));
+    return (seq << kSlotBits) | slot;
+  }
+  // True when `a` fires after `b` (later time, or same time but inserted
+  // later — FIFO among equal timestamps).
+  static bool after(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when_ns != b.when_ns) return a.when_ns > b.when_ns;
+    return a.seq_slot > b.seq_slot;
+  }
+
+  static constexpr std::size_t kHeapArity = 4;
+
+  void sift_up(std::size_t i) {
+    const HeapEntry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kHeapArity;
+      if (!after(heap_[parent], e)) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  // Removes the root (earliest) heap entry: walk the hole down along
+  // min-children to a leaf, drop the displaced back element there, and sift
+  // it up. The displaced element came from the bottom of the heap, so this
+  // does fewer comparisons than a classic test-against-element sift-down
+  // (same trick as libstdc++'s __pop_heap/__adjust_heap).
+  void pop_top() {
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = kHeapArity * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + kHeapArity, n);
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (after(heap_[best], heap_[c])) best = c;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+    sift_up(i);
+  }
+
+  [[nodiscard]] Record& record(std::uint32_t slot) {
+    return slabs_[slot / kSlabSize][slot % kSlabSize];
+  }
+  [[nodiscard]] const Record& record(std::uint32_t slot) const {
+    return slabs_[slot / kSlabSize][slot % kSlabSize];
+  }
+  [[nodiscard]] std::uint32_t alloc_slot();
+  void recycle_slot(std::uint32_t slot);
+  void cancel(std::uint32_t slot, std::uint32_t gen);
+  [[nodiscard]] bool pending(std::uint32_t slot, std::uint32_t gen) const;
+  // Frees cancelled records sitting at the top of the heap.
   void drop_cancelled();
 
-  struct Compare {
-    bool operator()(const std::shared_ptr<EventRecord>& a, const std::shared_ptr<EventRecord>& b) const;
-  };
-  std::priority_queue<std::shared_ptr<EventRecord>, std::vector<std::shared_ptr<EventRecord>>, Compare> heap_;
+  std::vector<std::unique_ptr<Record[]>> slabs_;
+  std::vector<HeapEntry> heap_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint32_t slot_count_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::shared_ptr<std::size_t> live_ = std::make_shared<std::size_t>(0);
-};
-
-struct EventRecord {
-  TimePoint when;
-  std::uint64_t seq = 0;
-  EventQueue::Callback cb;
-  bool cancelled = false;
-  bool fired = false;
-  // Lets Handle::cancel decrement the owning queue's live count even though
-  // the handle outlives nothing else of the queue's internals.
-  std::weak_ptr<std::size_t> live_count;
+  std::size_t live_ = 0;
 };
 
 }  // namespace amrt::sim

@@ -1,27 +1,12 @@
 #include "sim/scheduler.hpp"
 
-#include <stdexcept>
-
 namespace amrt::sim {
 
-Scheduler::Handle Scheduler::at(TimePoint when, Callback cb) {
-  if (when < now_) throw std::logic_error("Scheduler::at: scheduling into the past");
-  return queue_.push(when, std::move(cb));
-}
-
-Scheduler::Handle Scheduler::after(Duration delay, Callback cb) {
-  if (delay < Duration::zero()) throw std::logic_error("Scheduler::after: negative delay");
-  return queue_.push(now_ + delay, std::move(cb));
-}
-
 bool Scheduler::dispatch_next(TimePoint horizon) {
-  auto next = queue_.next_time();
-  if (!next || *next > horizon) return false;
-  auto ready = queue_.pop();
-  now_ = ready->when;
-  ++processed_;
-  ready->cb();
-  return true;
+  return queue_.fire_next(horizon, [this](TimePoint when) {
+    now_ = when;
+    ++processed_;
+  });
 }
 
 void Scheduler::run() {

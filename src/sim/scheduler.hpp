@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -25,9 +26,18 @@ class Scheduler {
   [[nodiscard]] TimePoint now() const { return now_; }
 
   // Schedule `cb` at an absolute instant; `when` must not be in the past.
-  Handle at(TimePoint when, Callback cb);
+  // Templated so lambdas are constructed directly in the event record.
+  template <typename F>
+  Handle at(TimePoint when, F&& cb) {
+    if (when < now_) throw std::logic_error("Scheduler::at: scheduling into the past");
+    return queue_.push(when, std::forward<F>(cb));
+  }
   // Schedule `cb` after a non-negative delay from now.
-  Handle after(Duration delay, Callback cb);
+  template <typename F>
+  Handle after(Duration delay, F&& cb) {
+    if (delay < Duration::zero()) throw std::logic_error("Scheduler::after: negative delay");
+    return queue_.push(now_ + delay, std::forward<F>(cb));
+  }
 
   // Runs until the event set is exhausted (or stop()/limits hit).
   void run();

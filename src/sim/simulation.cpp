@@ -1,0 +1,22 @@
+#include "sim/simulation.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/trace.hpp"
+
+namespace amrt::sim {
+
+void TraceSink::warn(const char* fmt, ...) {
+  char buf[512];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+
+  ++warns_;
+  if (stored_.size() < kMaxStored) stored_.emplace_back(buf);
+  trace::emit(trace::Level::kWarn, "%s", buf);
+}
+
+}  // namespace amrt::sim

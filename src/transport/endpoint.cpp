@@ -2,9 +2,9 @@
 
 namespace amrt::transport {
 
-TransportEndpoint::TransportEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+TransportEndpoint::TransportEndpoint(sim::Simulation& sim, net::Host& host, TransportConfig cfg,
                                      stats::FlowObserver* observer)
-    : sched_{sched}, host_{host}, cfg_{cfg}, observer_{observer} {}
+    : sim_{sim}, sched_{sim.scheduler()}, host_{host}, cfg_{cfg}, observer_{observer} {}
 
 void TransportEndpoint::deliver(net::Packet&& pkt) {
   switch (pkt.type) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "net/host.hpp"
+#include "sim/simulation.hpp"
 #include "stats/fct.hpp"
 #include "transport/config.hpp"
 #include "transport/flow.hpp"
@@ -12,7 +13,7 @@ namespace amrt::transport {
 
 class TransportEndpoint : public net::PacketSink {
  public:
-  TransportEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+  TransportEndpoint(sim::Simulation& sim, net::Host& host, TransportConfig cfg,
                     stats::FlowObserver* observer);
 
   // Begins transmitting `spec` from this (sending) endpoint.
@@ -31,7 +32,8 @@ class TransportEndpoint : public net::PacketSink {
 
   void send(net::Packet&& pkt) { host_.send(std::move(pkt)); }
 
-  sim::Scheduler& sched_;
+  sim::Simulation& sim_;
+  sim::Scheduler& sched_;  // == sim_.scheduler(), cached for the hot path
   net::Host& host_;
   TransportConfig cfg_;
   stats::FlowObserver* observer_;  // may be null

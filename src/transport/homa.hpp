@@ -13,9 +13,9 @@ namespace amrt::transport {
 
 class HomaEndpoint final : public ReceiverDrivenEndpoint {
  public:
-  HomaEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+  HomaEndpoint(sim::Simulation& sim, net::Host& host, TransportConfig cfg,
                stats::FlowObserver* observer)
-      : ReceiverDrivenEndpoint{sched, host, cfg, observer, Protocol::kHoma} {}
+      : ReceiverDrivenEndpoint{sim, host, cfg, observer, Protocol::kHoma} {}
 
  protected:
   void after_arrival(ReceiverFlow& flow, const net::Packet& pkt, bool fresh) override;

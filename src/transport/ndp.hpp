@@ -14,9 +14,9 @@ namespace amrt::transport {
 
 class NdpEndpoint final : public ReceiverDrivenEndpoint {
  public:
-  NdpEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+  NdpEndpoint(sim::Simulation& sim, net::Host& host, TransportConfig cfg,
               stats::FlowObserver* observer)
-      : ReceiverDrivenEndpoint{sched, host, cfg, observer, Protocol::kNdp},
+      : ReceiverDrivenEndpoint{sim, host, cfg, observer, Protocol::kNdp},
         pull_spacing_{cfg.host_rate.tx_time(net::kMtuBytes)} {}
 
   [[nodiscard]] std::size_t pull_queue_depth() const { return pull_queue_.size(); }

@@ -13,9 +13,9 @@ namespace amrt::transport {
 
 class PhostEndpoint final : public ReceiverDrivenEndpoint {
  public:
-  PhostEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+  PhostEndpoint(sim::Simulation& sim, net::Host& host, TransportConfig cfg,
                 stats::FlowObserver* observer)
-      : ReceiverDrivenEndpoint{sched, host, cfg, observer, Protocol::kPhost} {}
+      : ReceiverDrivenEndpoint{sim, host, cfg, observer, Protocol::kPhost} {}
 
  protected:
   void after_arrival(ReceiverFlow& flow, const net::Packet& pkt, bool fresh) override;

@@ -9,10 +9,10 @@ namespace amrt::transport {
 using net::Packet;
 using net::PacketType;
 
-ReceiverDrivenEndpoint::ReceiverDrivenEndpoint(sim::Scheduler& sched, net::Host& host,
+ReceiverDrivenEndpoint::ReceiverDrivenEndpoint(sim::Simulation& sim, net::Host& host,
                                                TransportConfig cfg, stats::FlowObserver* observer,
                                                Protocol proto)
-    : TransportEndpoint{sched, host, cfg, observer},
+    : TransportEndpoint{sim, host, cfg, observer},
       proto_{proto},
       rto_{cfg.default_loss_timeout(proto)} {}
 

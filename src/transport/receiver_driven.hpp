@@ -22,7 +22,7 @@ namespace amrt::transport {
 
 class ReceiverDrivenEndpoint : public TransportEndpoint {
  public:
-  ReceiverDrivenEndpoint(sim::Scheduler& sched, net::Host& host, TransportConfig cfg,
+  ReceiverDrivenEndpoint(sim::Simulation& sim, net::Host& host, TransportConfig cfg,
                          stats::FlowObserver* observer, Protocol proto);
 
   void start_flow(const FlowSpec& spec) override;

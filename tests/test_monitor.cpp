@@ -10,8 +10,9 @@ using namespace amrt::sim::literals;
 
 namespace {
 struct Rig {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Scheduler& sched = sim.scheduler();
+  Network net{sim};
   Host* a = nullptr;
   Host* b = nullptr;
   Switch* sw = nullptr;
@@ -43,7 +44,7 @@ struct Rig {
 TEST(PortSampler, SaturatedLinkReadsNearFullUtilization) {
   Rig rig;
   rig.blast(2000);  // 2.4ms of traffic at 10G
-  PortSampler sampler{rig.sched, rig.sw->port(1), 100_us};
+  PortSampler sampler{rig.sim, rig.sw->port(1), 100_us};
   sampler.start();
   rig.sched.run_until(TimePoint::zero() + 2_ms);
   ASSERT_GE(sampler.samples().size(), 10u);
@@ -53,7 +54,7 @@ TEST(PortSampler, SaturatedLinkReadsNearFullUtilization) {
 
 TEST(PortSampler, IdleLinkReadsZero) {
   Rig rig;
-  PortSampler sampler{rig.sched, rig.sw->port(1), 100_us};
+  PortSampler sampler{rig.sim, rig.sw->port(1), 100_us};
   sampler.start();
   rig.sched.run_until(TimePoint::zero() + 1_ms);
   EXPECT_DOUBLE_EQ(sampler.mean_utilization(), 0.0);
@@ -61,7 +62,7 @@ TEST(PortSampler, IdleLinkReadsZero) {
 
 TEST(PortSampler, StopHaltsSampling) {
   Rig rig;
-  PortSampler sampler{rig.sched, rig.sw->port(1), 100_us};
+  PortSampler sampler{rig.sim, rig.sw->port(1), 100_us};
   sampler.start();
   rig.sched.run_until(TimePoint::zero() + 500_us);
   const auto n = sampler.samples().size();
@@ -72,7 +73,7 @@ TEST(PortSampler, StopHaltsSampling) {
 
 TEST(PortSampler, WindowedMeanSelectsInterval) {
   Rig rig;
-  PortSampler sampler{rig.sched, rig.sw->port(1), 100_us};
+  PortSampler sampler{rig.sim, rig.sw->port(1), 100_us};
   sampler.start();
   // Idle first ms, then traffic.
   rig.sched.at(TimePoint::zero() + 1_ms, [&] { rig.blast(2000); });
@@ -84,7 +85,7 @@ TEST(PortSampler, WindowedMeanSelectsInterval) {
 TEST(PortSampler, TracksQueueHighWater) {
   Rig rig;
   rig.blast(200);  // NIC serializes at the same rate as the downlink: queue ~1
-  PortSampler sampler{rig.sched, rig.sw->port(1), 10_us};
+  PortSampler sampler{rig.sim, rig.sw->port(1), 10_us};
   sampler.start();
   rig.sched.run_until(TimePoint::zero() + 1_ms);
   EXPECT_LE(sampler.max_queue_pkts(), 2u);

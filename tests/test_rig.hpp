@@ -15,6 +15,7 @@ namespace amrt::testutil {
 
 struct RigOptions {
   transport::Protocol proto = transport::Protocol::kAmrt;
+  std::uint64_t seed = 1;
   int pairs = 1;  // sender/receiver host pairs
   sim::Bandwidth rate = sim::Bandwidth::gbps(10);
   sim::Duration delay = sim::Duration::microseconds(5);
@@ -28,7 +29,7 @@ struct RigOptions {
 // senders[i] -> S0 -> S1 -> receivers[i]; the S0->S1 link is the bottleneck.
 class DumbbellRig {
  public:
-  explicit DumbbellRig(const RigOptions& opt) : opt_{opt}, network_{sched_} {
+  explicit DumbbellRig(const RigOptions& opt) : opt_{opt}, sim_{opt.seed}, network_{sim_} {
     const auto base_rtt = net::path_base_rtt(3, opt.rate, opt.delay);
     recorder_ = std::make_unique<stats::FctRecorder>(opt.rate, base_rtt);
 
@@ -64,10 +65,10 @@ class DumbbellRig {
       senders_.push_back(&src);
       receivers_.push_back(&dst);
 
-      auto sep = core::make_endpoint(opt.proto, sched_, src, tcfg, recorder_.get());
+      auto sep = core::make_endpoint(opt.proto, sim_, src, tcfg, recorder_.get());
       sender_eps_.push_back(static_cast<transport::ReceiverDrivenEndpoint*>(sep.get()));
       src.attach(std::move(sep));
-      auto rep = core::make_endpoint(opt.proto, sched_, dst, tcfg, recorder_.get());
+      auto rep = core::make_endpoint(opt.proto, sim_, dst, tcfg, recorder_.get());
       receiver_eps_.push_back(static_cast<transport::ReceiverDrivenEndpoint*>(rep.get()));
       dst.attach(std::move(rep));
     }
@@ -96,7 +97,8 @@ class DumbbellRig {
     return recorder_->completed().size() >= expected;
   }
 
-  sim::Scheduler& sched() { return sched_; }
+  sim::Simulation& sim() { return sim_; }
+  sim::Scheduler& sched() { return sim_.scheduler(); }
   net::Network& network() { return network_; }
   stats::FctRecorder& recorder() { return *recorder_; }
   net::EgressPort& bottleneck() { return *bottleneck_; }
@@ -110,7 +112,8 @@ class DumbbellRig {
 
  private:
   RigOptions opt_;
-  sim::Scheduler sched_;
+  sim::Simulation sim_;
+  sim::Scheduler& sched_ = sim_.scheduler();
   net::Network network_;
   std::unique_ptr<stats::FctRecorder> recorder_;
   net::Switch* s0_ = nullptr;

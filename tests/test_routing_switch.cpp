@@ -66,8 +66,9 @@ TEST(EcmpHash, DistinctForConsecutiveFlows) {
 }
 
 TEST(Switch, ForwardsToRoutedPort) {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Scheduler& sched = sim.scheduler();
+  Network net{sim};
   auto& sw = net.add_switch("sw");
   auto& h0 = net.add_host("h0", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(64));
   auto& h1 = net.add_host("h1", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(64));
@@ -83,8 +84,8 @@ TEST(Switch, ForwardsToRoutedPort) {
 }
 
 TEST(Switch, PortAccessorsAndCount) {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Network net{sim};
   auto& sw = net.add_switch("sw");
   EXPECT_EQ(sw.port_count(), 0);
   auto& a = net.add_switch("a");

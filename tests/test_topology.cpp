@@ -22,8 +22,8 @@ LeafSpineConfig small_cfg() {
 }  // namespace
 
 TEST(LeafSpine, NodeAndPortCounts) {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Network net{sim};
   const auto topo = build_leaf_spine(net, small_cfg());
   EXPECT_EQ(topo.hosts.size(), 12u);
   EXPECT_EQ(topo.leaves.size(), 3u);
@@ -35,8 +35,8 @@ TEST(LeafSpine, NodeAndPortCounts) {
 }
 
 TEST(LeafSpine, EveryPairRoutable) {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Network net{sim};
   const auto topo = build_leaf_spine(net, small_cfg());
   for (auto* src : topo.hosts) {
     for (auto* dst : topo.hosts) {
@@ -58,8 +58,8 @@ TEST(LeafSpine, EveryPairRoutable) {
 }
 
 TEST(LeafSpine, CrossRackDeliveryWorks) {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Network net{sim};
   const auto topo = build_leaf_spine(net, small_cfg());
   Packet p;
   p.flow = 7;
@@ -68,13 +68,13 @@ TEST(LeafSpine, CrossRackDeliveryWorks) {
   p.type = PacketType::kData;
   p.wire_bytes = kMtuBytes;
   topo.hosts[0]->nic().enqueue(std::move(p));
-  sched.run();
+  sim.run();
   EXPECT_EQ(topo.hosts[11]->bytes_received(), kMtuBytes);
 }
 
 TEST(LeafSpine, SameRackStaysLocal) {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Network net{sim};
   const auto topo = build_leaf_spine(net, small_cfg());
   Packet p;
   p.flow = 9;
@@ -82,7 +82,7 @@ TEST(LeafSpine, SameRackStaysLocal) {
   p.type = PacketType::kData;
   p.wire_bytes = kMtuBytes;
   topo.hosts[0]->nic().enqueue(std::move(p));
-  sched.run();
+  sim.run();
   EXPECT_EQ(topo.hosts[1]->bytes_received(), kMtuBytes);
   for (auto* spine : topo.spines) {
     for (int i = 0; i < spine->port_count(); ++i) {
@@ -92,8 +92,8 @@ TEST(LeafSpine, SameRackStaysLocal) {
 }
 
 TEST(LeafSpine, BaseRttMatchesPathFormula) {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Network net{sim};
   const auto cfg = small_cfg();
   const auto topo = build_leaf_spine(net, cfg);
   EXPECT_EQ(topo.base_rtt, path_base_rtt(4, cfg.link_rate, cfg.link_delay));
@@ -101,16 +101,16 @@ TEST(LeafSpine, BaseRttMatchesPathFormula) {
 }
 
 TEST(LeafSpine, RequiresQueueFactory) {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Network net{sim};
   LeafSpineConfig cfg = small_cfg();
   cfg.queue_factory = nullptr;
   EXPECT_THROW((void)build_leaf_spine(net, cfg), std::invalid_argument);
 }
 
 TEST(LeafSpine, MarkerFactoryAppliedToSwitchPorts) {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Network net{sim};
   auto cfg = small_cfg();
   int markers_made = 0;
   cfg.marker_factory = [&markers_made]() -> std::unique_ptr<DequeueMarker> {
@@ -131,8 +131,8 @@ TEST(PathBaseRtt, ScalesWithHopsAndDelay) {
 }
 
 TEST(Network, HostIdsAreUnique) {
-  Scheduler sched;
-  Network net{sched};
+  Simulation sim;
+  Network net{sim};
   const auto topo = build_leaf_spine(net, small_cfg());
   std::set<std::uint32_t> ids;
   for (auto* h : topo.hosts) ids.insert(h->id().value);

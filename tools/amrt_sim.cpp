@@ -1,11 +1,13 @@
 // amrt_sim — command-line front end for the leaf-spine experiment runner.
 //
-// Runs one experiment per invocation and prints a single result row, so it
-// composes with shell loops and plotting scripts:
+// Runs one experiment point — or, with --seeds=N, a parallel sweep over N
+// consecutive seeds — and prints one result row per point, so it composes
+// with shell loops and plotting scripts:
 //
 //   amrt_sim --proto=AMRT --workload=DM --load=0.7 --flows=300 --seed=3
 //   amrt_sim --proto=pHost --workload=WSc --leaves=10 --spines=8 ...
 //            --hosts-per-leaf=40 --link-delay-us=100 --csv
+//   amrt_sim --proto=AMRT --seeds=8 --threads=4 --json=sweep.json
 //
 // All flags are optional; defaults match the laptop-scale fabric used by the
 // figure benches.
@@ -14,7 +16,7 @@
 #include <fstream>
 #include <string>
 
-#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 #include "net/topology.hpp"
 
 using namespace amrt;
@@ -35,8 +37,11 @@ void usage() {
       "  --overcommit=K                Homa overcommitment degree (default 2)\n"
       "  --spray                       per-packet multipath instead of ECMP\n"
       "  --seed=S                      RNG seed (default 1)\n"
-      "  --csv                         machine-readable one-line output\n"
-      "  --fct-csv=PATH                dump per-flow completion records\n");
+      "  --seeds=N                     sweep seeds S..S+N-1 in parallel (default 1)\n"
+      "  --threads=N                   sweep worker threads (0 = one per core)\n"
+      "  --json=PATH                   dump sweep results as JSON\n"
+      "  --csv                         machine-readable one-line-per-point output\n"
+      "  --fct-csv=PATH                dump per-flow completion records (first point)\n");
 }
 
 bool match(const std::string& arg, const char* prefix, std::string& value) {
@@ -57,6 +62,9 @@ int main(int argc, char** argv) {
   cfg.n_flows = 400;
   bool csv = false;
   std::string fct_csv_path;
+  std::string json_path;
+  std::size_t n_seeds = 1;
+  unsigned threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,6 +94,13 @@ int main(int argc, char** argv) {
         cfg.homa_overcommit = std::stoi(v);
       } else if (match(arg, "--seed=", v)) {
         cfg.seed = std::stoull(v);
+      } else if (match(arg, "--seeds=", v)) {
+        n_seeds = std::stoul(v);
+        if (n_seeds == 0) n_seeds = 1;
+      } else if (match(arg, "--threads=", v)) {
+        threads = static_cast<unsigned>(std::stoul(v));
+      } else if (match(arg, "--json=", v)) {
+        json_path = v;
       } else if (match(arg, "--fct-csv=", v)) {
         fct_csv_path = v;
       } else if (arg == "--spray") {
@@ -106,7 +121,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto r = harness::run_leaf_spine(cfg);
+  // One point per seed; a single run is just a one-point sweep.
+  std::vector<harness::ExperimentConfig> points;
+  for (std::size_t s = 0; s < n_seeds; ++s) {
+    auto point = cfg;
+    point.seed = cfg.seed + s;
+    points.push_back(point);
+  }
+
+  harness::SweepOptions sopts;
+  sopts.threads = threads;
+  if (points.size() > 1) {
+    sopts.on_progress = [](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "  amrt_sim %zu/%zu\n", done, total);
+    };
+  }
+  harness::SweepRunner runner{sopts};
+  const auto results = runner.run(points);
 
   if (!fct_csv_path.empty()) {
     std::ofstream out{fct_csv_path};
@@ -114,35 +145,53 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", fct_csv_path.c_str());
       return 2;
     }
-    harness::write_fct_csv(out, r.flow_records);
+    harness::write_fct_csv(out, results.front().flow_records);
+  }
+  if (!json_path.empty()) {
+    std::ofstream out{json_path};
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    harness::write_results_json(out, points, results);
   }
 
   if (csv) {
     std::printf("proto,workload,load,flows,seed,afct_us,p99_us,small_afct_us,large_afct_us,"
                 "slowdown,utilization,max_queue,drops,trims,completed,events,wall_s\n");
-    std::printf("%s,%s,%.2f,%zu,%llu,%.1f,%.1f,%.1f,%.1f,%.2f,%.4f,%zu,%llu,%llu,%zu,%llu,%.2f\n",
-                transport::to_string(cfg.proto), workload::abbrev(cfg.workload), cfg.load,
-                cfg.n_flows, static_cast<unsigned long long>(cfg.seed), r.fct_all.afct_us,
-                r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
-                r.fct_all.mean_slowdown, r.mean_utilization, r.max_queue_pkts,
-                static_cast<unsigned long long>(r.drops), static_cast<unsigned long long>(r.trims),
-                r.flows_completed, static_cast<unsigned long long>(r.events), r.wall_seconds);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& p = points[i];
+      const auto& r = results[i];
+      std::printf("%s,%s,%.2f,%zu,%llu,%.1f,%.1f,%.1f,%.1f,%.2f,%.4f,%zu,%llu,%llu,%zu,%llu,%.2f\n",
+                  transport::to_string(p.proto), workload::abbrev(p.workload), p.load,
+                  p.n_flows, static_cast<unsigned long long>(p.seed), r.fct_all.afct_us,
+                  r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
+                  r.fct_all.mean_slowdown, r.mean_utilization, r.max_queue_pkts,
+                  static_cast<unsigned long long>(r.drops), static_cast<unsigned long long>(r.trims),
+                  r.flows_completed, static_cast<unsigned long long>(r.events), r.wall_seconds);
+    }
     return 0;
   }
 
-  std::printf("%s on %s, load %.2f, %zu flows (seed %llu)\n", transport::to_string(cfg.proto),
-              workload::name(cfg.workload), cfg.load, cfg.n_flows,
-              static_cast<unsigned long long>(cfg.seed));
-  std::printf("  completed:    %zu/%zu flows (%llu drops, %llu trims)\n", r.flows_completed,
-              r.flows_started, static_cast<unsigned long long>(r.drops),
-              static_cast<unsigned long long>(r.trims));
-  std::printf("  FCT:          avg %.1fus, p99 %.1fus, small %.1fus, large %.1fus, slowdown %.2f\n",
-              r.fct_all.afct_us, r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
-              r.fct_all.mean_slowdown);
-  std::printf("  utilization:  %.1f%% (byte-weighted over active downlinks)\n",
-              100.0 * r.mean_utilization);
-  std::printf("  max queue:    %zu packets\n", r.max_queue_pkts);
-  std::printf("  simulated %.3fs in %.2fs wall (%llu events)\n", r.sim_seconds, r.wall_seconds,
-              static_cast<unsigned long long>(r.events));
-  return r.flows_completed == r.flows_started ? 0 : 1;
+  bool all_complete = true;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    const auto& r = results[i];
+    std::printf("%s on %s, load %.2f, %zu flows (seed %llu)\n", transport::to_string(p.proto),
+                workload::name(p.workload), p.load, p.n_flows,
+                static_cast<unsigned long long>(p.seed));
+    std::printf("  completed:    %zu/%zu flows (%llu drops, %llu trims)\n", r.flows_completed,
+                r.flows_started, static_cast<unsigned long long>(r.drops),
+                static_cast<unsigned long long>(r.trims));
+    std::printf("  FCT:          avg %.1fus, p99 %.1fus, small %.1fus, large %.1fus, slowdown %.2f\n",
+                r.fct_all.afct_us, r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
+                r.fct_all.mean_slowdown);
+    std::printf("  utilization:  %.1f%% (byte-weighted over active downlinks)\n",
+                100.0 * r.mean_utilization);
+    std::printf("  max queue:    %zu packets\n", r.max_queue_pkts);
+    std::printf("  simulated %.3fs in %.2fs wall (%llu events)\n", r.sim_seconds, r.wall_seconds,
+                static_cast<unsigned long long>(r.events));
+    all_complete = all_complete && r.flows_completed == r.flows_started;
+  }
+  return all_complete ? 0 : 1;
 }
