@@ -6,7 +6,9 @@
 #include "core/anti_ecn.hpp"
 #include "core/factory.hpp"
 #include "net/topology.hpp"
+#include "net/routing.hpp"
 #include "sim/event_queue.hpp"
+#include "util/flat_map.hpp"
 #include "workload/workloads.hpp"
 
 using namespace amrt;
@@ -92,6 +94,89 @@ void BM_AntiEcnMarker(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AntiEcnMarker);
+
+// One routed hop: RoutingTable::select over a 16-destination, 4-way ECMP
+// table with 64 concurrent flows. Pins the dense-array + per-flow route
+// cache fast path (hash and modulo only on each flow's first packet).
+void BM_SwitchForward(benchmark::State& state) {
+  net::RoutingTable table;
+  constexpr std::uint32_t kDsts = 16;
+  for (std::uint32_t d = 0; d < kDsts; ++d) {
+    for (int p = 0; p < 4; ++p) table.add_route(net::NodeId{d}, p);
+  }
+  net::Packet pkt = make_pkt(0);
+  std::uint64_t flow = 0;
+  int sink = 0;
+  for (auto _ : state) {
+    pkt.flow = 1 + (flow % 64);
+    pkt.dst = net::NodeId{static_cast<std::uint32_t>(flow % kDsts)};
+    sink += table.select(pkt);
+    ++flow;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SwitchForward);
+
+// Flow-table probe: hit-rate lookups over a 256-flow FlatMap — the shape of
+// the per-arrival snd_/rcv_ probe in the transport layer.
+void BM_FlatMapLookup(benchmark::State& state) {
+  util::FlatMap<net::FlowId, std::uint64_t> map;
+  constexpr std::uint64_t kFlows = 256;
+  for (std::uint64_t i = 0; i < kFlows; ++i) map[i * 7 + 1] = i;
+  std::uint64_t key = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const std::uint64_t* v = map.find((key % kFlows) * 7 + 1);
+    sink += *v;
+    ++key;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatMapLookup);
+
+// Endpoint arrival path in situ: one AMRT pair moving 1MB across a single
+// uncontended switch, so per-packet cost is dominated by the receiver's
+// on_data chain (flow-table probe, SeqBitmap mark, grant clock). items/s is
+// delivered data packets per wall second.
+void BM_ReceiverArrival(benchmark::State& state) {
+  double total_pkts = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    net::Network network{sim};
+    const auto rate = sim::Bandwidth::gbps(10);
+    const auto delay = sim::Duration::microseconds(5);
+    const auto base_rtt = net::path_base_rtt(2, rate, delay);
+
+    auto qf = core::make_queue_factory(transport::Protocol::kAmrt);
+    auto mf = core::make_marker_factory(transport::Protocol::kAmrt);
+    auto& sw = network.add_switch("S0");
+    auto& src = network.add_host("src", rate, delay, std::make_unique<net::DropTailQueue>(1024));
+    auto& dst = network.add_host("dst", rate, delay, std::make_unique<net::DropTailQueue>(1024));
+    const int src_down = network.attach_host(src, sw, qf(false), mf ? mf() : nullptr);
+    const int dst_down = network.attach_host(dst, sw, qf(false), mf ? mf() : nullptr);
+    sw.routes().add_route(src.id(), src_down);
+    sw.routes().add_route(dst.id(), dst_down);
+
+    transport::TransportConfig tcfg;
+    tcfg.host_rate = rate;
+    tcfg.base_rtt = base_rtt;
+    stats::FctRecorder recorder{rate, base_rtt};
+    auto sep = core::make_endpoint(transport::Protocol::kAmrt, sim, src, tcfg, &recorder);
+    auto* sender = sep.get();
+    src.attach(std::move(sep));
+    dst.attach(core::make_endpoint(transport::Protocol::kAmrt, sim, dst, tcfg, &recorder));
+
+    sender->start_flow({1, src.id(), dst.id(), 1'000'000, sim::TimePoint::zero()});
+    sim.run_until(sim::TimePoint::zero() + sim::Duration::milliseconds(10));
+    benchmark::DoNotOptimize(recorder.completed().size());
+    total_pkts +=
+        static_cast<double>(recorder.bytes_delivered()) / static_cast<double>(net::kMssBytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_pkts));
+}
+BENCHMARK(BM_ReceiverArrival)->Unit(benchmark::kMillisecond);
 
 void BM_WorkloadSampling(benchmark::State& state) {
   sim::Rng rng{1};

@@ -9,13 +9,14 @@ void AntiEcnMarker::on_dequeue(net::Packet& pkt, sim::TimePoint tx_start,
   // control frames; marking them would convey nothing).
   const bool first_use = !link_ever_used_;
   link_ever_used_ = true;
+  if (first_use) probe_tx_ = rate.tx_time(probe_bytes_);
   if (pkt.type != net::PacketType::kData || !pkt.ecn_capable || pkt.trimmed) return;
 
   ++observed_;
   // Eq. (2): spare bandwidth iff the idle gap could have carried one more
   // MTU. A never-used link is idle by definition (CE initialized to 1).
   const sim::Duration gap = tx_start - last_tx_end;
-  const bool spare = first_use || gap >= rate.tx_time(probe_bytes_);
+  const bool spare = first_use || gap >= probe_tx_;
 
   // Eq. (3): CE_final = CE_current & CE_last.
   const bool before = pkt.ce;

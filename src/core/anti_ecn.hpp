@@ -37,6 +37,10 @@ class AntiEcnMarker final : public net::DequeueMarker {
  private:
   std::uint32_t probe_bytes_;
   bool link_ever_used_ = false;
+  // Eq. (2)'s threshold, rate.tx_time(probe_bytes_), memoized on first use:
+  // a marker is bound to one port whose rate never changes, and the division
+  // is 128-bit — too expensive to repeat per data packet.
+  sim::Duration probe_tx_ = sim::Duration::zero();
   std::uint64_t observed_ = 0;
   std::uint64_t kept_marked_ = 0;
   std::uint64_t cleared_ = 0;

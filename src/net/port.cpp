@@ -32,7 +32,10 @@ void EgressPort::enqueue(Packet&& pkt) {
 void EgressPort::ensure_wakeup() {
   if (wakeup_pending_) return;
   wakeup_pending_ = true;
-  sched_.at(busy_until_, [this] { on_wakeup(); });
+  // Raw lane: the wakeup is never cancelled (wakeup_pending_ dedups it), so
+  // it can skip the callback record entirely.
+  sched_.at_raw(
+      busy_until_, [](void* p) { static_cast<EgressPort*>(p)->on_wakeup(); }, this);
 }
 
 void EgressPort::on_wakeup() {
@@ -52,11 +55,15 @@ void EgressPort::start_next_transmission() {
   if (!next) return;
 
   const sim::TimePoint tx_start = sched_.now();
-  for (auto& marker : markers_) {
-    marker->on_dequeue(*next, tx_start, last_tx_end_, cfg_.rate);
+  // Most ports (all NICs, and every non-AMRT switch port) have no markers:
+  // skip the loop outright rather than pay its setup per packet.
+  if (!markers_.empty()) {
+    for (auto& marker : markers_) {
+      marker->on_dequeue(*next, tx_start, last_tx_end_, cfg_.rate);
+    }
   }
 
-  sim::Duration tx = cfg_.rate.tx_time(next->wire_bytes);
+  sim::Duration tx = tx_time_for(next->wire_bytes);
   busy_time_ += tx;
   bytes_sent_ += next->wire_bytes;
   ++packets_sent_;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/marker.hpp"
@@ -58,6 +59,24 @@ class EgressPort {
 
  private:
   void start_next_transmission();
+  // Serialization time at this port's (fixed) rate, memoized by packet size.
+  // Traffic is almost entirely two sizes — full-MTU data and small control
+  // frames — so a two-entry MRU cache turns the 128-bit division in
+  // Bandwidth::tx_time into a compare on the per-packet path.
+  [[nodiscard]] sim::Duration tx_time_for(std::int64_t bytes) {
+    if (bytes == tx_memo_bytes_[0]) return tx_memo_[0];
+    if (bytes == tx_memo_bytes_[1]) {
+      std::swap(tx_memo_bytes_[0], tx_memo_bytes_[1]);
+      std::swap(tx_memo_[0], tx_memo_[1]);
+      return tx_memo_[0];
+    }
+    const sim::Duration t = cfg_.rate.tx_time(bytes);
+    tx_memo_bytes_[1] = tx_memo_bytes_[0];
+    tx_memo_[1] = tx_memo_[0];
+    tx_memo_bytes_[0] = bytes;
+    tx_memo_[0] = t;
+    return t;
+  }
   // Arms (at most one) continuation event at `busy_until_`. The port keeps
   // no standing tx-end event: an idle port parks with no event scheduled,
   // and the serializer is woken only when a packet is actually waiting.
@@ -71,6 +90,8 @@ class EgressPort {
   Node* peer_ = nullptr;
   int peer_port_ = -1;
   sim::Rng jitter_rng_;
+  std::int64_t tx_memo_bytes_[2] = {-1, -1};
+  sim::Duration tx_memo_[2] = {sim::Duration::zero(), sim::Duration::zero()};
   sim::TimePoint busy_until_ = sim::TimePoint::zero();  // end of in-flight transmission
   bool wakeup_pending_ = false;
   sim::TimePoint last_tx_end_ = sim::TimePoint::zero();

@@ -1,67 +1,9 @@
 #include "net/queue.hpp"
 
-#include <algorithm>
-
 namespace amrt::net {
 
-void EgressQueue::enqueue(Packet&& pkt) {
-  ++stats_.enqueued;
-  if (pkt.is_control()) {
-    // Control packets are tiny and precious: strict priority, never dropped.
-    push_control(std::move(pkt));
-    return;
-  }
-  const auto bytes = pkt.wire_bytes;
-  if (data_enqueue(std::move(pkt))) {
-    stats_.data_bytes_in += bytes;
-    stats_.max_data_pkts = std::max(stats_.max_data_pkts, data_size());
-  }
-}
-
-std::optional<Packet> EgressQueue::dequeue() {
-  if (!control_.empty()) {
-    ++stats_.dequeued;
-    return control_.pop_front();
-  }
-  auto pkt = data_dequeue();
-  if (pkt) ++stats_.dequeued;
-  return pkt;
-}
-
-bool DropTailQueue::data_enqueue(Packet&& pkt) {
-  if (fifo_.size() >= capacity_) {
-    ++stats_.dropped;
-    return false;
-  }
-  fifo_.push_back(std::move(pkt));
-  return true;
-}
-
-std::optional<Packet> DropTailQueue::data_dequeue() {
-  if (fifo_.empty()) return std::nullopt;
-  return fifo_.pop_front();
-}
-
-bool TrimmingQueue::data_enqueue(Packet&& pkt) {
-  if (fifo_.size() >= threshold_) {
-    // NDP: cut the payload, keep the header. The header rides the control
-    // band so the receiver learns of the loss one RTT faster than a timeout.
-    pkt.trimmed = true;
-    pkt.payload_bytes = 0;
-    pkt.wire_bytes = kCtrlBytes;
-    ++stats_.trimmed;
-    push_control(std::move(pkt));
-    return false;  // not accepted into the data band (counted as trim, not drop)
-  }
-  fifo_.push_back(std::move(pkt));
-  return true;
-}
-
-std::optional<Packet> TrimmingQueue::data_dequeue() {
-  if (fifo_.empty()) return std::nullopt;
-  return fifo_.pop_front();
-}
-
+// The eviction scan is the one queue operation that is O(depth); it only
+// runs when the band is already full, so it stays out of the header.
 bool SelectiveDropQueue::data_enqueue(Packet&& pkt) {
   if (fifo_.size() >= capacity_) {
     if (pkt.unscheduled) {
@@ -84,33 +26,9 @@ bool SelectiveDropQueue::data_enqueue(Packet&& pkt) {
   return true;
 }
 
-std::optional<Packet> SelectiveDropQueue::data_dequeue() {
-  if (fifo_.empty()) return std::nullopt;
-  return fifo_.pop_front();
-}
-
 StrictPriorityQueue::StrictPriorityQueue(std::size_t bands, std::size_t capacity_pkts)
-    : bands_(bands == 0 ? 1 : bands), capacity_{capacity_pkts} {}
-
-bool StrictPriorityQueue::data_enqueue(Packet&& pkt) {
-  if (size_ >= capacity_) {
-    ++stats_.dropped;
-    return false;
-  }
-  const std::size_t band = std::min<std::size_t>(pkt.priority, bands_.size() - 1);
-  bands_[band].push_back(std::move(pkt));
-  ++size_;
-  return true;
-}
-
-std::optional<Packet> StrictPriorityQueue::data_dequeue() {
-  for (auto& band : bands_) {
-    if (!band.empty()) {
-      --size_;
-      return band.pop_front();
-    }
-  }
-  return std::nullopt;
-}
+    : EgressQueue{QueueKind::kStrictPriority},
+      bands_(bands == 0 ? 1 : bands),
+      capacity_{capacity_pkts} {}
 
 }  // namespace amrt::net

@@ -10,8 +10,15 @@
 //   TrimmingQueue       — NDP: beyond a threshold, payloads are cut and the
 //                         64B header is promoted into the control band
 //   StrictPriorityQueue — Homa: N FIFO bands selected by Packet::priority
+//
+// Dispatch: the per-packet enqueue/dequeue path is devirtualized. Each
+// built-in discipline registers a QueueKind tag and the base class switches
+// on it to call the (final, inlinable) subclass methods directly; the
+// virtual data_* interface remains as the extension fallback (kCustom), so
+// out-of-tree disciplines keep working at the old cost.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -32,22 +39,34 @@ struct QueueStats {
   std::uint64_t data_bytes_in = 0;   // accepted data-band bytes
 };
 
+// Tag for the devirtualized fast path. kCustom = dispatch virtually.
+enum class QueueKind : std::uint8_t {
+  kDropTail,
+  kTrimming,
+  kSelectiveDrop,
+  kStrictPriority,
+  kCustom,
+};
+
 class EgressQueue {
  public:
   virtual ~EgressQueue() = default;
 
   // Consumes the packet: accepted into a band, trimmed, or dropped.
-  void enqueue(Packet&& pkt);
+  inline void enqueue(Packet&& pkt);
   // Control band first, then the data band.
-  [[nodiscard]] std::optional<Packet> dequeue();
+  [[nodiscard]] inline std::optional<Packet> dequeue();
 
   [[nodiscard]] std::size_t control_pkts() const { return control_.size(); }
-  [[nodiscard]] std::size_t data_pkts() const { return data_size(); }
-  [[nodiscard]] std::size_t total_pkts() const { return control_.size() + data_size(); }
+  [[nodiscard]] inline std::size_t data_pkts() const;
+  [[nodiscard]] std::size_t total_pkts() const { return control_.size() + data_pkts(); }
   [[nodiscard]] bool empty() const { return total_pkts() == 0; }
+  [[nodiscard]] QueueKind kind() const { return kind_; }
   [[nodiscard]] const QueueStats& stats() const { return stats_; }
 
  protected:
+  explicit EgressQueue(QueueKind kind = QueueKind::kCustom) : kind_{kind} {}
+
   // Returns false if the data band dropped the packet.
   virtual bool data_enqueue(Packet&& pkt) = 0;
   [[nodiscard]] virtual std::optional<Packet> data_dequeue() = 0;
@@ -58,20 +77,39 @@ class EgressQueue {
   QueueStats stats_;
 
  private:
+  // Tag-dispatched (devirtualized) forms of the data_* hooks.
+  inline bool dispatch_enqueue(Packet&& pkt);
+  [[nodiscard]] inline std::optional<Packet> dispatch_dequeue();
+
   RingDeque<Packet> control_;
+  QueueKind kind_;
 };
 
 class DropTailQueue final : public EgressQueue {
  public:
-  explicit DropTailQueue(std::size_t capacity_pkts) : capacity_{capacity_pkts} {}
+  explicit DropTailQueue(std::size_t capacity_pkts)
+      : EgressQueue{QueueKind::kDropTail}, capacity_{capacity_pkts} {}
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  protected:
-  bool data_enqueue(Packet&& pkt) override;
-  std::optional<Packet> data_dequeue() override;
+  // Bodies live in the header so the tag-dispatched fast path inlines them
+  // at every call site (ports sit in a different TU).
+  bool data_enqueue(Packet&& pkt) override {
+    if (fifo_.size() >= capacity_) {
+      ++stats_.dropped;
+      return false;
+    }
+    fifo_.push_back(std::move(pkt));
+    return true;
+  }
+  std::optional<Packet> data_dequeue() override {
+    if (fifo_.empty()) return std::nullopt;
+    return fifo_.pop_front();
+  }
   std::size_t data_size() const override { return fifo_.size(); }
 
  private:
+  friend class EgressQueue;  // tag dispatch calls the hooks non-virtually
   std::size_t capacity_;
   RingDeque<Packet> fifo_;
 };
@@ -79,15 +117,33 @@ class DropTailQueue final : public EgressQueue {
 class TrimmingQueue final : public EgressQueue {
  public:
   // `threshold_pkts`: data packets held before trimming kicks in (NDP uses 8).
-  explicit TrimmingQueue(std::size_t threshold_pkts) : threshold_{threshold_pkts} {}
+  explicit TrimmingQueue(std::size_t threshold_pkts)
+      : EgressQueue{QueueKind::kTrimming}, threshold_{threshold_pkts} {}
   [[nodiscard]] std::size_t threshold() const { return threshold_; }
 
  protected:
-  bool data_enqueue(Packet&& pkt) override;
-  std::optional<Packet> data_dequeue() override;
+  bool data_enqueue(Packet&& pkt) override {
+    if (fifo_.size() >= threshold_) {
+      // NDP: cut the payload, keep the header. The header rides the control
+      // band so the receiver learns of the loss one RTT faster than a timeout.
+      pkt.trimmed = true;
+      pkt.payload_bytes = 0;
+      pkt.wire_bytes = kCtrlBytes;
+      ++stats_.trimmed;
+      push_control(std::move(pkt));
+      return false;  // not accepted into the data band (counted as trim, not drop)
+    }
+    fifo_.push_back(std::move(pkt));
+    return true;
+  }
+  std::optional<Packet> data_dequeue() override {
+    if (fifo_.empty()) return std::nullopt;
+    return fifo_.pop_front();
+  }
   std::size_t data_size() const override { return fifo_.size(); }
 
  private:
+  friend class EgressQueue;
   std::size_t threshold_;
   RingDeque<Packet> fifo_;
 };
@@ -100,15 +156,20 @@ class TrimmingQueue final : public EgressQueue {
 // small-threshold discipline (Section 6) to protect the grant clock.
 class SelectiveDropQueue final : public EgressQueue {
  public:
-  explicit SelectiveDropQueue(std::size_t capacity_pkts) : capacity_{capacity_pkts} {}
+  explicit SelectiveDropQueue(std::size_t capacity_pkts)
+      : EgressQueue{QueueKind::kSelectiveDrop}, capacity_{capacity_pkts} {}
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  protected:
-  bool data_enqueue(Packet&& pkt) override;
-  std::optional<Packet> data_dequeue() override;
+  bool data_enqueue(Packet&& pkt) override;  // cold path stays in queue.cpp
+  std::optional<Packet> data_dequeue() override {
+    if (fifo_.empty()) return std::nullopt;
+    return fifo_.pop_front();
+  }
   std::size_t data_size() const override { return fifo_.size(); }
 
  private:
+  friend class EgressQueue;
   std::size_t capacity_;
   RingDeque<Packet> fifo_;
 };
@@ -120,15 +181,111 @@ class StrictPriorityQueue final : public EgressQueue {
   [[nodiscard]] std::size_t bands() const { return bands_.size(); }
 
  protected:
-  bool data_enqueue(Packet&& pkt) override;
-  std::optional<Packet> data_dequeue() override;
+  bool data_enqueue(Packet&& pkt) override {
+    if (size_ >= capacity_) {
+      ++stats_.dropped;
+      return false;
+    }
+    const std::size_t band = std::min<std::size_t>(pkt.priority, bands_.size() - 1);
+    bands_[band].push_back(std::move(pkt));
+    ++size_;
+    return true;
+  }
+  std::optional<Packet> data_dequeue() override {
+    for (auto& band : bands_) {
+      if (!band.empty()) {
+        --size_;
+        return band.pop_front();
+      }
+    }
+    return std::nullopt;
+  }
   std::size_t data_size() const override { return size_; }
 
  private:
+  friend class EgressQueue;
   std::vector<RingDeque<Packet>> bands_;
   std::size_t capacity_;
   std::size_t size_ = 0;
 };
+
+// --- devirtualized dispatch -------------------------------------------------
+// Defined after the concrete types so the switch can static_cast to them.
+// All four built-ins are `final`, so the casts are exact and the hook bodies
+// (in queue.cpp, same TU as the callers that matter) inline away.
+
+inline bool EgressQueue::dispatch_enqueue(Packet&& pkt) {
+  switch (kind_) {
+    case QueueKind::kDropTail:
+      return static_cast<DropTailQueue&>(*this).data_enqueue(std::move(pkt));
+    case QueueKind::kTrimming:
+      return static_cast<TrimmingQueue&>(*this).data_enqueue(std::move(pkt));
+    case QueueKind::kSelectiveDrop:
+      return static_cast<SelectiveDropQueue&>(*this).data_enqueue(std::move(pkt));
+    case QueueKind::kStrictPriority:
+      return static_cast<StrictPriorityQueue&>(*this).data_enqueue(std::move(pkt));
+    case QueueKind::kCustom:
+      break;
+  }
+  return data_enqueue(std::move(pkt));
+}
+
+inline std::optional<Packet> EgressQueue::dispatch_dequeue() {
+  switch (kind_) {
+    case QueueKind::kDropTail:
+      return static_cast<DropTailQueue&>(*this).data_dequeue();
+    case QueueKind::kTrimming:
+      return static_cast<TrimmingQueue&>(*this).data_dequeue();
+    case QueueKind::kSelectiveDrop:
+      return static_cast<SelectiveDropQueue&>(*this).data_dequeue();
+    case QueueKind::kStrictPriority:
+      return static_cast<StrictPriorityQueue&>(*this).data_dequeue();
+    case QueueKind::kCustom:
+      break;
+  }
+  return data_dequeue();
+}
+
+inline std::size_t EgressQueue::data_pkts() const {
+  switch (kind_) {
+    case QueueKind::kDropTail:
+      return static_cast<const DropTailQueue&>(*this).data_size();
+    case QueueKind::kTrimming:
+      return static_cast<const TrimmingQueue&>(*this).data_size();
+    case QueueKind::kSelectiveDrop:
+      return static_cast<const SelectiveDropQueue&>(*this).data_size();
+    case QueueKind::kStrictPriority:
+      return static_cast<const StrictPriorityQueue&>(*this).data_size();
+    case QueueKind::kCustom:
+      break;
+  }
+  return data_size();
+}
+
+inline void EgressQueue::enqueue(Packet&& pkt) {
+  ++stats_.enqueued;
+  if (pkt.is_control()) {
+    // Control packets are tiny and precious: strict priority, never dropped.
+    push_control(std::move(pkt));
+    return;
+  }
+  const auto bytes = pkt.wire_bytes;
+  if (dispatch_enqueue(std::move(pkt))) {
+    stats_.data_bytes_in += bytes;
+    const std::size_t depth = data_pkts();
+    if (depth > stats_.max_data_pkts) stats_.max_data_pkts = depth;
+  }
+}
+
+inline std::optional<Packet> EgressQueue::dequeue() {
+  if (!control_.empty()) {
+    ++stats_.dequeued;
+    return control_.pop_front();
+  }
+  auto pkt = dispatch_dequeue();
+  if (pkt) ++stats_.dequeued;
+  return pkt;
+}
 
 // Factory signature used by topology builders: experiments pick a discipline
 // per protocol. `host_nic` distinguishes end-host NICs (which need room for

@@ -31,6 +31,15 @@ class RingDeque {
     ++size_;
   }
 
+  // Prepends: the new element becomes index 0 (used by loss-repair queues,
+  // where fresh detections jump ahead of scheduled retries).
+  void push_front(T&& v) {
+    if (size_ == buf_.size()) grow();
+    head_ = wrap(head_ + buf_.size() - 1);
+    buf_[head_] = std::move(v);
+    ++size_;
+  }
+
   T pop_front() {
     T out = std::move(buf_[head_]);
     head_ = wrap(head_ + 1);
@@ -50,7 +59,9 @@ class RingDeque {
   [[nodiscard]] std::size_t wrap(std::size_t i) const { return i & (buf_.size() - 1); }
 
   void grow() {
-    const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    // Start at 64: egress queues under incast reach hundreds of packets per
+    // run, and starting small just replays the doubling ladder every run.
+    const std::size_t cap = buf_.empty() ? 64 : buf_.size() * 2;
     std::vector<T> next(cap);
     for (std::size_t i = 0; i < size_; ++i) next[i] = std::move((*this)[i]);
     buf_ = std::move(next);

@@ -1,6 +1,9 @@
 #include "net/routing.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace amrt::net {
 
@@ -13,26 +16,49 @@ std::uint64_t ecmp_hash(FlowId flow) {
 }
 
 void RoutingTable::add_route(NodeId dst, int port) {
-  table_[dst.value].push_back(port);
+  if (dst.value >= pending_.size()) pending_.resize(dst.value + 1);
+  if (pending_[dst.value].empty()) ++dst_count_;
+  pending_[dst.value].push_back(port);
+  dirty_ = true;
 }
 
-const std::vector<int>& RoutingTable::ports_for(NodeId dst) const {
-  auto it = table_.find(dst.value);
-  if (it == table_.end()) throw std::out_of_range("RoutingTable: unknown destination");
-  return it->second;
-}
-
-int RoutingTable::select(const Packet& pkt) {
-  const auto& ports = ports_for(pkt.dst);
-  if (ports.size() == 1) return ports.front();
-  if (mode_ == MultipathMode::kPacketSpray) {
-    // Control packets stay on the flow's hashed path so grant clocks are
-    // not reordered; only data is sprayed (as in NDP).
-    if (pkt.type == PacketType::kData) {
-      return ports[spray_counter_++ % ports.size()];
-    }
+// Flattens the per-destination lists into {offset,count} entries over one
+// contiguous pool, in destination order (deterministic). Any cached ECMP
+// picks refer to the old layout, so the route cache is flushed; spray
+// cursors restart at the front of each (possibly re-shaped) port set.
+void RoutingTable::compact() const {
+  entries_.assign(pending_.size(), Entry{});
+  pool_.clear();
+  for (std::size_t dst = 0; dst < pending_.size(); ++dst) {
+    entries_[dst].offset = static_cast<std::uint32_t>(pool_.size());
+    entries_[dst].count = static_cast<std::uint32_t>(pending_[dst].size());
+    pool_.insert(pool_.end(), pending_[dst].begin(), pending_[dst].end());
   }
-  return ports[ecmp_hash(pkt.flow) % ports.size()];
+  cache_.fill(CacheSlot{});
+  dirty_ = false;
+}
+
+std::span<const int> RoutingTable::ports_for(NodeId dst) const {
+  if (dirty_) compact();
+  if (dst.value >= entries_.size()) return {};
+  const Entry& e = entries_[dst.value];
+  return {pool_.data() + e.offset, e.count};
+}
+
+void RoutingTable::require_route(NodeId dst) const {
+  if (!knows(dst)) {
+    throw std::logic_error("RoutingTable: no route to node " + std::to_string(dst.value) +
+                           " after wiring");
+  }
+}
+
+void RoutingTable::die_unknown_destination(NodeId dst) {
+  // A packet addressed past the wired fabric is a topology bug, not a
+  // runtime condition: fail loudly instead of dragging exception machinery
+  // through the per-packet path.
+  std::fprintf(stderr, "RoutingTable: unknown destination node %u — miswired topology\n",
+               dst.value);
+  std::abort();
 }
 
 }  // namespace amrt::net

@@ -3,10 +3,21 @@
 // A switch's routing table maps destination node -> the set of egress ports
 // with equal-cost paths; a flow hash picks one so a flow stays on one path
 // (per-flow ECMP, see DESIGN.md §6 for why all protocols share this choice).
+//
+// Data-plane layout (see DESIGN.md "Data-plane fast path"): destinations are
+// dense small integers per topology, so the table is a flat array of
+// {offset, count} entries into one shared port pool — a forward is two
+// indexed loads, no hashing and no node allocation. On top of that a
+// direct-mapped per-flow route cache memoizes the ECMP pick: the hash and
+// the (division-heavy) modulo run once per flow per switch, after which a
+// forward is a single 16-byte cache-slot compare. The cache is sound because
+// `ecmp_hash` is a pure function of the flow id and the port set is frozen
+// after wiring; any later `add_route` invalidates it wholesale.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -17,29 +28,95 @@ namespace amrt::net {
 // experiment so all protocols compare on equal routing) keeps a flow on one
 // path; per-packet spraying (what real NDP deploys) round-robins every
 // packet across the set, trading reordering for perfect load balance.
+// Spray state is kept per destination, so concurrent spray sets on one
+// switch round-robin independently instead of in (correlated) lockstep.
 enum class MultipathMode : std::uint8_t { kPerFlowEcmp, kPacketSpray };
+
+// The ECMP hash: deterministic, spreads consecutive flow ids across paths.
+[[nodiscard]] std::uint64_t ecmp_hash(FlowId flow);
 
 class RoutingTable {
  public:
   // Registers `port` as one of the equal-cost next hops toward `dst`.
+  // Mutating the table invalidates the compiled fast path; it is rebuilt
+  // (and the route cache flushed) on the next lookup.
   void add_route(NodeId dst, int port);
 
   void set_mode(MultipathMode mode) { mode_ = mode; }
   [[nodiscard]] MultipathMode mode() const { return mode_; }
 
-  // Picks the egress port for `pkt`; throws if the destination is unknown.
-  [[nodiscard]] int select(const Packet& pkt);
+  // Picks the egress port for `pkt`. Unknown destinations are a wiring bug:
+  // the process aborts with a diagnostic (use `require_route` at build time
+  // to fail during setup instead of mid-run).
+  [[nodiscard]] int select(const Packet& pkt) {
+    if (dirty_) compact();
+    const std::uint32_t dst = pkt.dst.value;
+    if (dst >= entries_.size() || entries_[dst].count == 0) [[unlikely]] {
+      die_unknown_destination(pkt.dst);
+    }
+    Entry& e = entries_[dst];
+    const int* ports = pool_.data() + e.offset;
+    if (e.count == 1) return ports[0];
+    if (mode_ == MultipathMode::kPacketSpray && pkt.type == PacketType::kData) {
+      // Control packets stay on the flow's hashed path so grant clocks are
+      // not reordered; only data is sprayed (as in NDP).
+      return ports[e.spray++ % e.count];
+    }
+    CacheSlot& slot = cache_[cache_index(pkt.flow, dst)];
+    if (slot.flow == pkt.flow && slot.dst == dst) return slot.port;
+    const int port = ports[ecmp_hash(pkt.flow) % e.count];
+    slot = CacheSlot{pkt.flow, dst, port};
+    return port;
+  }
 
-  [[nodiscard]] const std::vector<int>& ports_for(NodeId dst) const;
-  [[nodiscard]] std::size_t destinations() const { return table_.size(); }
+  // The ECMP set toward `dst`; empty if the destination is unknown.
+  [[nodiscard]] std::span<const int> ports_for(NodeId dst) const;
+  [[nodiscard]] bool knows(NodeId dst) const { return !ports_for(dst).empty(); }
+  [[nodiscard]] std::size_t destinations() const { return dst_count_; }
+
+  // Wiring-time validation: throws std::logic_error if `dst` has no route.
+  // Topology builders call this for every node a switch must reach, so a
+  // miswired fabric fails at setup rather than aborting mid-run.
+  void require_route(NodeId dst) const;
 
  private:
-  std::unordered_map<std::uint32_t, std::vector<int>> table_;
-  MultipathMode mode_ = MultipathMode::kPerFlowEcmp;
-  std::uint64_t spray_counter_ = 0;  // deterministic round-robin state
-};
+  // Dense per-destination view into the shared port pool. `spray` is the
+  // destination's own round-robin cursor (kPacketSpray mode).
+  struct Entry {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+    std::uint32_t spray = 0;
+  };
+  struct CacheSlot {
+    FlowId flow = ~FlowId{0};
+    std::uint32_t dst = ~std::uint32_t{0};
+    std::int32_t port = -1;
+  };
+  static constexpr std::size_t kCacheSlots = 512;  // direct-mapped, 8KB
 
-// The ECMP hash: deterministic, spreads consecutive flow ids across paths.
-[[nodiscard]] std::uint64_t ecmp_hash(FlowId flow);
+  [[nodiscard]] static std::size_t cache_index(FlowId flow, std::uint32_t dst) {
+    // Flow ids are sequential; fold the high half in and mix with the
+    // destination so forward and reverse traffic of one flow land apart.
+    return (static_cast<std::size_t>(flow ^ (flow >> 32)) ^
+            (static_cast<std::size_t>(dst) * 0x9e3779b9u)) &
+           (kCacheSlots - 1);
+  }
+
+  void compact() const;
+  [[noreturn]] static void die_unknown_destination(NodeId dst);
+
+  // Build-side: per-destination port lists as added. The compiled (dense)
+  // form is derived lazily so builders may interleave wiring and lookups.
+  std::vector<std::vector<int>> pending_;
+  std::size_t dst_count_ = 0;
+  mutable bool dirty_ = false;
+
+  // Compiled fast path, rebuilt by compact().
+  mutable std::vector<Entry> entries_;
+  mutable std::vector<int> pool_;
+
+  mutable std::array<CacheSlot, kCacheSlots> cache_{};
+  MultipathMode mode_ = MultipathMode::kPerFlowEcmp;
+};
 
 }  // namespace amrt::net

@@ -123,6 +123,15 @@ LeafSpine build_leaf_spine(Network& net, const LeafSpineConfig& cfg) {
   for (auto* leaf : out.leaves) leaf->routes().set_mode(cfg.multipath);
   for (auto* spine : out.spines) spine->routes().set_mode(cfg.multipath);
 
+  // Every switch must be able to reach every host; a gap here would abort
+  // mid-run from the forwarding fast path, so fail at wiring time instead.
+  for (auto* sw : out.leaves) {
+    for (auto* host : out.hosts) sw->routes().require_route(host->id());
+  }
+  for (auto* sw : out.spines) {
+    for (auto* host : out.hosts) sw->routes().require_route(host->id());
+  }
+
   out.base_rtt = path_base_rtt(4, cfg.link_rate, cfg.link_delay);
   return out;
 }

@@ -68,9 +68,12 @@ class InplaceCallback {
   [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
 
   // Destroys the held callable (releasing captured state) and goes empty.
+  // A null destroy op marks a trivially destructible callable (the common
+  // case on the event path: captures of pointers and POD packets), letting
+  // the per-event reset skip an indirect call to an empty destructor.
   void reset() {
     if (ops_ != nullptr) {
-      ops_->destroy(&storage_);
+      if (ops_->destroy != nullptr) ops_->destroy(&storage_);
       ops_ = nullptr;
     }
   }
@@ -105,7 +108,9 @@ class InplaceCallback {
             ::new (dst) Fn(std::move(*from));
             from->~Fn();
           },
-          [](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+          std::is_trivially_destructible_v<Fn>
+              ? nullptr
+              : +[](void* s) { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
           true};
       ops_ = &ops;
     } else {

@@ -1,6 +1,6 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
+#include <limits>
 
 namespace amrt::sim {
 
@@ -19,6 +19,7 @@ std::uint32_t EventQueue::alloc_slot() {
   if (slot_count_ % kSlabSize == 0) {
     slabs_.push_back(std::make_unique<Record[]>(kSlabSize));
   }
+  assert(slot_count_ < kRawFlag);  // bit 23 is the raw-lane tag
   return slot_count_++;
 }
 
@@ -31,13 +32,67 @@ void EventQueue::recycle_slot(std::uint32_t slot) {
   free_head_ = slot;
 }
 
+// The set was empty: re-anchor the window at the incoming event. The
+// current bucket may still hold a fully drained prefix (buckets are cleared
+// lazily, on advance); drop it before reusing the wheel.
+void EventQueue::rebase_empty(std::int64_t when_ns) {
+  buckets_[cur_].clear();
+  occupied_[cur_ >> 6] &= ~(std::uint64_t{1} << (cur_ & 63));
+  base_ns_ = when_ns & ~(kBucketNs - 1);
+  cur_ = 0;
+  drain_idx_ = 0;
+}
+
+// The drain cursor exhausted its bucket: retire it and move to the next
+// non-empty one, re-anchoring the window over the far list when the near
+// window is spent. Returns false when no events remain anywhere.
+bool EventQueue::advance_bucket() {
+  buckets_[cur_].clear();  // keeps capacity for the next lap of the wheel
+  drain_idx_ = 0;
+  occupied_[cur_ >> 6] &= ~(std::uint64_t{1} << (cur_ & 63));
+
+  std::size_t w = cur_ >> 6;
+  std::uint64_t word = occupied_[w];
+  for (;;) {
+    if (word != 0) {
+      cur_ = (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      return true;
+    }
+    if (++w >= kWords) break;
+    word = occupied_[w];
+  }
+
+  if (far_.empty()) {
+    cur_ = 0;
+    return false;
+  }
+  // Re-anchor the window at the earliest far event and re-bucket everything
+  // that now falls inside it. Far events are rare (long timers), so the
+  // linear partition is cheap and keeps pushes O(1).
+  base_ns_ = far_min_ns_ & ~(kBucketNs - 1);
+  cur_ = 0;
+  std::int64_t next_min = std::numeric_limits<std::int64_t>::max();
+  std::size_t keep = 0;
+  for (const Entry& e : far_) {
+    const std::int64_t idx = (e.when_ns - base_ns_) >> kBucketShift;
+    if (idx < static_cast<std::int64_t>(kBuckets)) {
+      insort(static_cast<std::size_t>(idx), e);
+    } else {
+      far_[keep++] = e;
+      if (e.when_ns < next_min) next_min = e.when_ns;
+    }
+  }
+  far_.resize(keep);
+  far_min_ns_ = next_min;
+  return true;  // the window now contains at least the old far minimum
+}
+
 EventQueue::Handle EventQueue::push(TimePoint when, Callback cb) {
   const std::uint32_t slot = alloc_slot();
   Record& rec = record(slot);
   rec.cb = std::move(cb);
   rec.live = true;
-  heap_.push_back(HeapEntry{when.ns(), pack_seq_slot(next_seq_++, slot)});
-  sift_up(heap_.size() - 1);
+  insert_entry(when.ns(), slot);
   ++live_;
   return Handle{this, slot, rec.gen};
 }
@@ -57,28 +112,28 @@ bool EventQueue::pending(std::uint32_t slot, std::uint32_t gen) const {
   return rec.gen == gen && rec.live;
 }
 
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && !record(entry_slot(heap_.front())).live) {
-    recycle_slot(entry_slot(heap_.front()));
-    pop_top();
-  }
-}
-
 std::optional<TimePoint> EventQueue::next_time() {
-  drop_cancelled();
-  if (heap_.empty()) return std::nullopt;
-  return TimePoint::from_ns(heap_.front().when_ns);
+  const Entry* head = peek_live();
+  if (head == nullptr) return std::nullopt;
+  return TimePoint::from_ns(head->when_ns);
 }
 
 std::optional<EventQueue::Ready> EventQueue::pop() {
-  drop_cancelled();
-  if (heap_.empty()) return std::nullopt;
-  const HeapEntry top = heap_.front();
+  const Entry* head = peek_live();
+  if (head == nullptr) return std::nullopt;
+  const Entry top = *head;
+  consume_head();
   const std::uint32_t slot = entry_slot(top);
-  pop_top();
+  --live_;
+  if ((slot & kRawFlag) != 0) {
+    // Slow path (tests/tools only): wrap the raw event in a callback so the
+    // caller sees the uniform Ready shape.
+    const RawRec r = raw_recs_[slot & ~kRawFlag];
+    recycle_raw(slot & ~kRawFlag);
+    return Ready{TimePoint::from_ns(top.when_ns), [r] { r.fn(r.ctx); }};
+  }
   Ready out{TimePoint::from_ns(top.when_ns), std::move(record(slot).cb)};
   recycle_slot(slot);
-  --live_;
   return out;
 }
 

@@ -5,22 +5,29 @@
 // this repository deterministic for a fixed seed.
 //
 // Layout: event records live in fixed slabs that never move, recycled
-// through a freelist, and the priority heap is a 4-ary min-heap of 16-byte
-// POD entries (time, packed seq+slot) — half the levels of a binary heap
-// and four entries per cache line, so a sift touches fewer lines. Together with the small-buffer
+// through a freelist. The priority structure is a two-level timing wheel
+// rather than a heap: a near window of 2us buckets (each a small vector
+// kept (time, seq)-sorted by insertion from the back) plus an unsorted far
+// list for events beyond the window, re-bucketed when the window advances
+// past them. Simulated traffic schedules almost everything a few link-times
+// ahead, so a push is an append to a ~3-entry bucket and a pop is a pointer
+// bump — O(1) against the O(log n) sift of a heap — while the global
+// (time, seq) firing order is exactly the heap's: buckets partition time,
+// and each bucket is totally ordered. Together with the small-buffer
 // `InplaceCallback` this makes steady-state push/pop allocation-free —
-// slabs and heap capacity are retained across the whole run.
+// slabs and bucket capacity are retained across the whole run.
 //
 // Handles are weak references carrying a generation counter: destroying a
 // Handle does not cancel the event, and a Handle whose slot has been
 // recycled becomes inert (cancel is a no-op, pending() is false). A Handle
 // must not outlive its EventQueue. Cancellation is O(1) and lazy: a
-// cancelled record keeps its heap entry until it reaches the top and is
-// skipped, so `size()` over-counts — use `live_size()` for the number of
-// events that will actually fire.
+// cancelled record keeps its bucket entry until the drain cursor reaches it
+// and it is skipped, so `size()` over-counts — use `live_size()` for the
+// number of events that will actually fire.
 #pragma once
 
-#include <algorithm>
+#include <array>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -52,11 +59,20 @@ class EventQueue {
     std::uint32_t gen_ = 0;
   };
 
-  EventQueue() = default;
+  EventQueue() : buckets_(kBuckets) {}
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   Handle push(TimePoint when, Callback cb);
+
+  // Raw lane for fire-and-forget events: a bare function pointer plus
+  // context, stored in a 16-byte side record instead of a full callback
+  // slab record. No Handle, no cancellation, no generation counter — made
+  // for the port-wakeup event, which is 40% of all events in a congested
+  // run and is never cancelled. Raw events share the wheel and the sequence
+  // counter, so they interleave with regular events in exact FIFO order.
+  using RawFn = void (*)(void*);
+  void push_raw(TimePoint when, RawFn fn, void* ctx);
 
   // Fast path: constructs the callable directly in the slab record, with no
   // intermediate InplaceCallback move. Lambdas land here; a pre-built
@@ -69,15 +85,14 @@ class EventQueue {
     Record& rec = record(slot);
     rec.cb.assign(std::forward<F>(f));
     rec.live = true;
-    heap_.push_back(HeapEntry{when.ns(), pack_seq_slot(next_seq_++, slot)});
-    sift_up(heap_.size() - 1);
+    insert_entry(when.ns(), slot);
     ++live_;
     return Handle{this, slot, rec.gen};
   }
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
-  // Heap entries, including cancelled-but-unskipped records.
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  // Scheduled entries, including cancelled-but-unskipped records.
+  [[nodiscard]] std::size_t size() const { return entry_count_; }
   // Events that will actually fire.
   [[nodiscard]] std::size_t live_size() const { return live_; }
   // Timestamp of the earliest live event, if any.
@@ -98,17 +113,27 @@ class EventQueue {
   // need to take ownership of the callback.
   template <typename PreFire>
   bool fire_next(TimePoint horizon, PreFire&& pre) {
-    drop_cancelled();
-    if (heap_.empty() || heap_.front().when_ns > horizon.ns()) return false;
-    const HeapEntry top = heap_.front();
+    const Entry* head = peek_live();
+    if (head == nullptr || head->when_ns > horizon.ns()) return false;
+    // Copy before firing: the callback may push into (and reallocate) the
+    // bucket the entry lives in.
+    const Entry top = *head;
+    consume_head();
     const std::uint32_t slot = entry_slot(top);
-    pop_top();
+    --live_;
+    if ((slot & kRawFlag) != 0) {
+      // Raw record recycled before the call: the callee may push_raw again.
+      const RawRec r = raw_recs_[slot & ~kRawFlag];
+      recycle_raw(slot & ~kRawFlag);
+      pre(TimePoint::from_ns(top.when_ns));
+      r.fn(r.ctx);
+      return true;
+    }
     Record& rec = record(slot);
     // Handles go inert before the callback runs, matching pop(): an event
     // that cancels its own handle mid-flight is a no-op. The record itself
     // stays put even if the callback pushes new events (slabs never move).
     rec.live = false;
-    --live_;
     pre(TimePoint::from_ns(top.when_ns));
     try {
       rec.cb();
@@ -131,18 +156,21 @@ class EventQueue {
     bool live = false;            // scheduled and not cancelled/fired
   };
 
-  // 16-byte heap entry: the insertion sequence number (upper 40 bits, ~10^12
+  // 16-byte wheel entry: the insertion sequence number (upper 40 bits, ~10^12
   // events) and the slot index (lower 24 bits, ~16M concurrent events) share
   // one word. Since sequence numbers are unique, comparing the packed word
   // for equal timestamps is exactly the FIFO tie-break — the slot bits never
-  // decide an ordering. Four entries per cache line.
-  struct HeapEntry {
+  // decide an ordering.
+  struct Entry {
     std::int64_t when_ns;
     std::uint64_t seq_slot;
   };
   static constexpr std::uint32_t kSlotBits = 24;
   static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
-  [[nodiscard]] static std::uint32_t entry_slot(const HeapEntry& e) {
+  // Top bit of the slot field marks a raw-lane event; the remaining 23 bits
+  // index `raw_recs_` instead of the callback slabs.
+  static constexpr std::uint32_t kRawFlag = std::uint32_t{1} << (kSlotBits - 1);
+  [[nodiscard]] static std::uint32_t entry_slot(const Entry& e) {
     return static_cast<std::uint32_t>(e.seq_slot & kSlotMask);
   }
   [[nodiscard]] static std::uint64_t pack_seq_slot(std::uint64_t seq, std::uint32_t slot) {
@@ -151,48 +179,110 @@ class EventQueue {
   }
   // True when `a` fires after `b` (later time, or same time but inserted
   // later — FIFO among equal timestamps).
-  static bool after(const HeapEntry& a, const HeapEntry& b) {
+  static bool after(const Entry& a, const Entry& b) {
     if (a.when_ns != b.when_ns) return a.when_ns > b.when_ns;
     return a.seq_slot > b.seq_slot;
   }
 
-  static constexpr std::size_t kHeapArity = 4;
+  // Wheel geometry: 512 buckets of 2us cover a ~1ms near window — wider
+  // than any link tx time, propagation delay, or RTT in the experiments, so
+  // only long recovery backoffs ever take the far path. Coarser, fewer
+  // buckets beat finer, more: sorted insertion into a ~10-entry bucket is
+  // still a short back-scan, while bucket vectors are allocated (and freed)
+  // once per simulation each.
+  static constexpr int kBucketShift = 11;  // 2048 ns per bucket
+  static constexpr std::size_t kBuckets = 512;
+  static constexpr std::int64_t kBucketNs = std::int64_t{1} << kBucketShift;
+  static constexpr std::size_t kWords = kBuckets / 64;
 
-  void sift_up(std::size_t i) {
-    const HeapEntry e = heap_[i];
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / kHeapArity;
-      if (!after(heap_[parent], e)) break;
-      heap_[i] = heap_[parent];
-      i = parent;
+  // Positions the drain cursor on the earliest live entry, reclaiming
+  // cancelled entries it passes; returns nullptr when no events remain. The
+  // hot case — cursor already on a live entry — stays inline.
+  [[nodiscard]] const Entry* peek_live() {
+    for (;;) {
+      std::vector<Entry>& b = buckets_[cur_];
+      if (drain_idx_ < b.size()) {
+        const Entry& e = b[drain_idx_];
+        // Raw events cannot be cancelled, so they are live by construction.
+        const std::uint32_t slot = entry_slot(e);
+        if ((slot & kRawFlag) != 0 || record(slot).live) return &e;
+        recycle_slot(slot);  // cancelled: reclaim lazily
+        ++drain_idx_;
+        --entry_count_;
+        continue;
+      }
+      if (!advance_bucket()) return nullptr;
     }
-    heap_[i] = e;
+  }
+  void consume_head() {
+    ++drain_idx_;
+    --entry_count_;
   }
 
-  // Removes the root (earliest) heap entry: walk the hole down along
-  // min-children to a leaf, drop the displaced back element there, and sift
-  // it up. The displaced element came from the bottom of the heap, so this
-  // does fewer comparisons than a classic test-against-element sift-down
-  // (same trick as libstdc++'s __pop_heap/__adjust_heap).
-  void pop_top() {
-    const HeapEntry e = heap_.back();
-    heap_.pop_back();
-    const std::size_t n = heap_.size();
-    if (n == 0) return;
-    std::size_t i = 0;
-    for (;;) {
-      const std::size_t first = kHeapArity * i + 1;
-      if (first >= n) break;
-      std::size_t best = first;
-      const std::size_t last = std::min(first + kHeapArity, n);
-      for (std::size_t c = first + 1; c < last; ++c) {
-        if (after(heap_[best], heap_[c])) best = c;
-      }
-      heap_[i] = heap_[best];
-      i = best;
+  // Keeps the bucket (when, seq)-sorted. Pushes mostly carry later
+  // timestamps and always carry later sequence numbers than what a bucket
+  // already holds, so the back-to-front scan usually stops immediately. The
+  // scan can never cross the drain cursor: every entry the cursor has passed
+  // fired at or before the current simulation time, and new events are never
+  // scheduled in the past, so they compare (time, seq)-after that prefix.
+  void insort(std::size_t idx, const Entry& e) {
+    std::vector<Entry>& b = buckets_[idx];
+    std::size_t pos = b.size();
+    b.push_back(e);
+    while (pos > 0 && after(b[pos - 1], e)) {
+      b[pos] = b[pos - 1];
+      --pos;
     }
-    heap_[i] = e;
-    sift_up(i);
+    b[pos] = e;
+    occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  }
+
+  void insert_entry(std::int64_t when_ns, std::uint32_t slot) {
+    const Entry e{when_ns, pack_seq_slot(next_seq_++, slot)};
+    ++entry_count_;
+    if (entry_count_ == 1) [[unlikely]] {
+      rebase_empty(when_ns);
+    }
+    std::int64_t idx = (when_ns - base_ns_) >> kBucketShift;
+    if (idx >= static_cast<std::int64_t>(kBuckets)) [[unlikely]] {
+      if (far_.empty() || when_ns < far_min_ns_) far_min_ns_ = when_ns;
+      far_.push_back(e);
+      return;
+    }
+    // An event earlier than the cursor's bucket (possible when the window
+    // was anchored ahead of the clock) still fires in order: fold it into
+    // the current bucket, where the sorted insert puts it ahead of every
+    // later-timestamped entry.
+    if (idx < static_cast<std::int64_t>(cur_)) idx = static_cast<std::int64_t>(cur_);
+    insort(static_cast<std::size_t>(idx), e);
+  }
+
+  void rebase_empty(std::int64_t when_ns);
+  bool advance_bucket();
+
+  // Raw-lane side records. While free, `ctx` doubles as the freelist link
+  // (stored as an index widened to a pointer-sized integer).
+  struct RawRec {
+    RawFn fn;
+    void* ctx;
+  };
+  [[nodiscard]] std::uint32_t alloc_raw(RawFn fn, void* ctx) {
+    std::uint32_t idx;
+    if (raw_free_head_ != kNoSlot) {
+      idx = raw_free_head_;
+      raw_free_head_ =
+          static_cast<std::uint32_t>(reinterpret_cast<std::uintptr_t>(raw_recs_[idx].ctx));
+    } else {
+      idx = static_cast<std::uint32_t>(raw_recs_.size());
+      assert(idx < kRawFlag);
+      raw_recs_.push_back(RawRec{});
+    }
+    raw_recs_[idx] = RawRec{fn, ctx};
+    return idx;
+  }
+  void recycle_raw(std::uint32_t idx) {
+    raw_recs_[idx].ctx = reinterpret_cast<void*>(static_cast<std::uintptr_t>(raw_free_head_));
+    raw_free_head_ = idx;
   }
 
   [[nodiscard]] Record& record(std::uint32_t slot) {
@@ -205,15 +295,33 @@ class EventQueue {
   void recycle_slot(std::uint32_t slot);
   void cancel(std::uint32_t slot, std::uint32_t gen);
   [[nodiscard]] bool pending(std::uint32_t slot, std::uint32_t gen) const;
-  // Frees cancelled records sitting at the top of the heap.
-  void drop_cancelled();
 
   std::vector<std::unique_ptr<Record[]>> slabs_;
-  std::vector<HeapEntry> heap_;
   std::uint32_t free_head_ = kNoSlot;
   std::uint32_t slot_count_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+
+  // The wheel. `base_ns_` is bucket 0's window start (bucket-aligned);
+  // `cur_`/`drain_idx_` are the drain cursor. Buckets behind the cursor are
+  // empty; the bitmap tracks non-empty buckets at/ahead of it. `far_` holds
+  // events past the window (unsorted; re-bucketed when the window advances).
+  std::vector<std::vector<Entry>> buckets_;
+  std::array<std::uint64_t, kWords> occupied_{};
+  std::int64_t base_ns_ = 0;
+  std::size_t cur_ = 0;
+  std::size_t drain_idx_ = 0;
+  std::size_t entry_count_ = 0;
+  std::vector<Entry> far_;
+  std::int64_t far_min_ns_ = 0;
+
+  std::vector<RawRec> raw_recs_;
+  std::uint32_t raw_free_head_ = kNoSlot;
 };
+
+inline void EventQueue::push_raw(TimePoint when, RawFn fn, void* ctx) {
+  insert_entry(when.ns(), alloc_raw(fn, ctx) | kRawFlag);
+  ++live_;
+}
 
 }  // namespace amrt::sim

@@ -39,6 +39,14 @@ class Scheduler {
     return queue_.push(now_ + delay, std::forward<F>(cb));
   }
 
+  // Fire-and-forget lane: no Handle, no cancellation, half the per-event
+  // bookkeeping. Use for events that are never cancelled and capture only a
+  // context pointer (the port serializer wakeup is the canonical case).
+  void at_raw(TimePoint when, EventQueue::RawFn fn, void* ctx) {
+    if (when < now_) throw std::logic_error("Scheduler::at_raw: scheduling into the past");
+    queue_.push_raw(when, fn, ctx);
+  }
+
   // Runs until the event set is exhausted (or stop()/limits hit).
   void run();
   // Runs events with timestamp <= `until`, then sets the clock to `until`.
@@ -48,6 +56,8 @@ class Scheduler {
 
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
   [[nodiscard]] bool idle() const { return queue_.empty(); }
+  // Events scheduled and not yet fired/cancelled (telemetry).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.live_size(); }
 
   // Safety valve for runaway simulations (0 = unlimited).
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }

@@ -24,9 +24,8 @@ void NdpEndpoint::after_arrival(ReceiverFlow& flow, const Packet& pkt, bool fres
 }
 
 void NdpEndpoint::enqueue_new_pull(ReceiverFlow& flow) {
-  auto& pending = pending_new_pulls_[flow.id];
-  if (flow.remaining_ungranted() <= pending) return;  // all remaining data already covered
-  ++pending;
+  if (flow.remaining_ungranted() <= flow.pending_new_pulls) return;  // all remaining data covered
+  ++flow.pending_new_pulls;
   pull_queue_.push_back(PullRequest{flow.id, -1});
   arm_pacer();
 }
@@ -48,22 +47,20 @@ void NdpEndpoint::arm_pacer() {
 void NdpEndpoint::pacer_fire() {
   pacer_armed_ = false;
   while (!pull_queue_.empty()) {
-    const PullRequest req = pull_queue_.front();
-    pull_queue_.pop_front();
-    auto it = rcv_.find(req.flow);
-    if (it == rcv_.end()) {
-      // Flow completed while the pull waited; drop the stale request.
-      pending_new_pulls_.erase(req.flow);
+    const PullRequest req = pull_queue_.pop_front();
+    ReceiverFlow* open = rcv_.find(req.flow);
+    if (open == nullptr) {
+      // Flow completed while the pull waited; drop the stale request (its
+      // pending count died with the flow record).
       continue;
     }
-    ReceiverFlow& flow = it->second;
+    ReceiverFlow& flow = *open;
     Packet pull = make_grant(flow);
     if (req.rtx_seq >= 0) {
       pull.request_seq = req.rtx_seq;
       pull.allowance = 0;
     } else {
-      auto& pending = pending_new_pulls_[req.flow];
-      if (pending > 0) --pending;
+      if (flow.pending_new_pulls > 0) --flow.pending_new_pulls;
       if (flow.remaining_ungranted() == 0) continue;  // raced with recovery grants
       ++flow.granted_new;
       pull.allowance = 1;

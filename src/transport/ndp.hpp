@@ -5,9 +5,7 @@
 // retransmissions of trimmed packets before new data.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
-
+#include "net/ring_deque.hpp"
 #include "transport/receiver_driven.hpp"
 
 namespace amrt::transport {
@@ -36,9 +34,9 @@ class NdpEndpoint final : public ReceiverDrivenEndpoint {
   void arm_pacer();
   void pacer_fire();
 
-  std::deque<PullRequest> pull_queue_;
-  // New-data pulls queued but not yet sent, per flow (bounds credit issue).
-  std::unordered_map<net::FlowId, std::uint32_t> pending_new_pulls_;
+  // Per-flow "queued but unsent" pull counts live in ReceiverFlow
+  // (`pending_new_pulls`), so an arrival touches no side table.
+  net::RingDeque<PullRequest> pull_queue_;
   sim::Duration pull_spacing_;
   sim::TimePoint last_pull_ = sim::TimePoint::zero();
   bool pacer_armed_ = false;

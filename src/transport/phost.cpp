@@ -39,7 +39,12 @@ void PhostEndpoint::assign_token() {
     // Window-full flows are skipped: this is pHost's downgrade of
     // unresponsive senders, expressed as a credit window.
     if (outstanding(flow) >= window) continue;
-    if (best == nullptr || flow.remaining_bytes() < best->remaining_bytes()) best = &flow;
+    // Tie-break on flow id so the pick is independent of table iteration
+    // order (the flat map's slot order is deterministic but layout-defined).
+    if (best == nullptr || flow.remaining_bytes() < best->remaining_bytes() ||
+        (flow.remaining_bytes() == best->remaining_bytes() && flow.id < best->id)) {
+      best = &flow;
+    }
   }
   if (best != nullptr) issue_credits(*best, 1, /*marked=*/false);
 }

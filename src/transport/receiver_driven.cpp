@@ -26,12 +26,12 @@ void ReceiverDrivenEndpoint::start_flow(const FlowSpec& spec) {
     AMRT_WARN("start_flow: empty flow %llu ignored", static_cast<unsigned long long>(spec.id));
     return;
   }
-  auto [it, inserted] = snd_.try_emplace(spec.id);
+  auto [slot, inserted] = snd_.try_emplace(spec.id);
   if (!inserted) {
     AMRT_WARN("start_flow: duplicate flow id %llu", static_cast<unsigned long long>(spec.id));
     return;
   }
-  SenderFlow& flow = it->second;
+  SenderFlow& flow = *slot;
   flow.spec = spec;
   flow.total_pkts = total;
 
@@ -94,11 +94,11 @@ void ReceiverDrivenEndpoint::handle_grant_packet(SenderFlow& flow, const Packet&
 }
 
 void ReceiverDrivenEndpoint::on_grant(Packet&& pkt) {
-  auto it = snd_.find(pkt.flow);
-  if (it == snd_.end()) return;  // flow already torn down
+  SenderFlow* flow = snd_.find(pkt.flow);
+  if (flow == nullptr) return;   // flow already torn down
   if (!cfg_.responsive) return;  // Fig. 14: unresponsive senders ignore credit
-  it->second.sched_priority = pkt.priority;
-  handle_grant_packet(it->second, pkt);
+  flow->sched_priority = pkt.priority;
+  handle_grant_packet(*flow, pkt);
 }
 
 void ReceiverDrivenEndpoint::on_done(Packet&& pkt) { snd_.erase(pkt.flow); }
@@ -108,9 +108,13 @@ void ReceiverDrivenEndpoint::on_done(Packet&& pkt) { snd_.erase(pkt.flow); }
 // ---------------------------------------------------------------------------
 
 ReceiverDrivenEndpoint::ReceiverFlow* ReceiverDrivenEndpoint::ensure_registered(const Packet& pkt) {
+  // Common case (every arrival after the first) resolves in this one probe;
+  // the handle is then threaded through after_arrival/issue_credits, so the
+  // whole arrival chain touches the flow table exactly once.
+  if (ReceiverFlow* open = rcv_.find(pkt.flow)) return open;
   if (finished_rcv_.contains(pkt.flow)) return nullptr;
-  auto [it, inserted] = rcv_.try_emplace(pkt.flow);
-  ReceiverFlow& flow = it->second;
+  auto [slot, inserted] = rcv_.try_emplace(pkt.flow);
+  ReceiverFlow& flow = *slot;
   if (inserted) {
     flow.id = pkt.flow;
     flow.src = pkt.src;
@@ -120,7 +124,7 @@ ReceiverDrivenEndpoint::ReceiverFlow* ReceiverDrivenEndpoint::ensure_registered(
         cfg_.unscheduled_start ? std::min<std::uint32_t>(cfg_.bdp_packets(), flow.total_pkts) : 0;
     flow.granted_bytes =
         static_cast<std::uint64_t>(flow.unscheduled_pkts) * net::kMssBytes;
-    flow.got.assign(flow.total_pkts, false);
+    flow.seqs.resize(flow.total_pkts);
     flow.first_seen = sched_.now();
     flow.last_arrival = sched_.now();
     arm_recovery(flow, rto_);
@@ -160,8 +164,8 @@ void ReceiverDrivenEndpoint::on_data(Packet&& pkt) {
   bool fresh = false;
   if (pkt.seq < flow->total_pkts) {
     if (pkt.seq > flow->max_seen) flow->max_seen = pkt.seq;
-    if (!pkt.trimmed && !flow->got[pkt.seq]) {
-      flow->got[pkt.seq] = true;
+    if (!pkt.trimmed && !flow->seqs.got(pkt.seq)) {
+      flow->seqs.set_got(pkt.seq);
       ++flow->received_pkts;
       flow->received_bytes += pkt.payload_bytes;
       fresh = true;
@@ -183,10 +187,9 @@ void ReceiverDrivenEndpoint::detect_losses(ReceiverFlow& flow) {
   constexpr std::uint32_t kReorderSlack = 2;
   const std::uint32_t horizon = flow.max_seen > kReorderSlack ? flow.max_seen - kReorderSlack : 0;
   for (std::uint32_t seq = flow.detect_cursor; seq < horizon; ++seq) {
-    if (!flow.got[seq] && !flow.repair_set.contains(seq)) {
+    if (!flow.seqs.got(seq) && flow.seqs.mark_repair(seq)) {
       // Fresh detections are immediately eligible and jump the queue.
       flow.repair_q.push_front(RepairEntry{seq, sched_.now()});
-      flow.repair_set.insert(seq);
     }
   }
   flow.detect_cursor = std::max(flow.detect_cursor, horizon);
@@ -195,14 +198,14 @@ void ReceiverDrivenEndpoint::detect_losses(ReceiverFlow& flow) {
 std::optional<std::uint32_t> ReceiverDrivenEndpoint::pop_due_repair(ReceiverFlow& flow) {
   while (!flow.repair_q.empty()) {
     const RepairEntry e = flow.repair_q.front();
-    if (flow.got[e.seq]) {  // repaired in the meantime
+    if (flow.seqs.got(e.seq)) {  // repaired in the meantime
       flow.repair_q.pop_front();
-      flow.repair_set.erase(e.seq);
+      flow.seqs.clear_repair(e.seq);
       continue;
     }
     if (e.eligible_at > sched_.now()) return std::nullopt;  // retry window still open
     flow.repair_q.pop_front();
-    // Leave it in the set and re-queue for another try in case the
+    // Leave the repair bit set and re-queue for another try in case the
     // retransmission is lost too.
     flow.repair_q.push_back(RepairEntry{e.seq, sched_.now() + rto_});
     return e.seq;
@@ -238,8 +241,8 @@ std::uint32_t ReceiverDrivenEndpoint::issue_credits(ReceiverFlow& flow, std::uin
 bool ReceiverDrivenEndpoint::wants_credit(ReceiverFlow& flow) {
   if (flow.remaining_ungranted() > 0) return true;
   // Peek for a due repair without consuming it.
-  while (!flow.repair_q.empty() && flow.got[flow.repair_q.front().seq]) {
-    flow.repair_set.erase(flow.repair_q.front().seq);
+  while (!flow.repair_q.empty() && flow.seqs.got(flow.repair_q.front().seq)) {
+    flow.seqs.clear_repair(flow.repair_q.front().seq);
     flow.repair_q.pop_front();
   }
   return !flow.repair_q.empty() && flow.repair_q.front().eligible_at <= sched_.now();
@@ -288,9 +291,9 @@ void ReceiverDrivenEndpoint::arm_recovery(ReceiverFlow& flow, sim::Duration dela
 // directly (including tail losses the hole detector cannot see) and, if
 // nothing is missing, pushes the grant clock with fresh credits.
 void ReceiverDrivenEndpoint::recovery_fire(net::FlowId id) {
-  auto it = rcv_.find(id);
-  if (it == rcv_.end()) return;
-  ReceiverFlow& flow = it->second;
+  ReceiverFlow* open = rcv_.find(id);
+  if (open == nullptr) return;
+  ReceiverFlow& flow = *open;
 
   const auto idle = sched_.now() - flow.last_arrival;
   if (idle < rto_) {
@@ -303,7 +306,7 @@ void ReceiverDrivenEndpoint::recovery_fire(net::FlowId id) {
   std::uint32_t requested = 0;
   for (std::uint32_t seq = flow.scan_cursor; seq < horizon && requested < cfg_.recovery_batch;
        ++seq) {
-    if (flow.got[seq]) {
+    if (flow.seqs.got(seq)) {
       if (seq == flow.scan_cursor) ++flow.scan_cursor;  // advance past the received prefix
       continue;
     }

@@ -10,13 +10,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "net/ring_deque.hpp"
 #include "transport/endpoint.hpp"
+#include "util/flat_map.hpp"
+#include "util/seq_bitmap.hpp"
 
 namespace amrt::transport {
 
@@ -54,7 +54,9 @@ class ReceiverDrivenEndpoint : public TransportEndpoint {
     std::uint64_t bytes = 0;
     std::uint32_t total_pkts = 0;
     std::uint32_t unscheduled_pkts = 0;  // what the sender was allowed to blast
-    std::vector<bool> got;
+    // Received + repair-pending bits, word-packed two bits per sequence so
+    // loss bookkeeping shares cache lines with the arrival bookkeeping.
+    util::SeqBitmap seqs;
     std::uint32_t received_pkts = 0;
     std::uint64_t received_bytes = 0;
     std::uint64_t granted_new = 0;    // new-packet credits issued beyond unscheduled
@@ -65,9 +67,11 @@ class ReceiverDrivenEndpoint : public TransportEndpoint {
     std::uint32_t scan_cursor = 0;    // lowest possibly-missing seq (stall-scan state)
     std::uint32_t stall_backoff = 1;  // doubles per silent stall tick (bounds incast storms)
     std::uint32_t max_seen = 0;       // highest data seq observed
-    std::uint32_t detect_cursor = 0;  // seqs below this are received or in the repair set
-    std::deque<RepairEntry> repair_q;
-    std::unordered_set<std::uint32_t> repair_set;
+    std::uint32_t detect_cursor = 0;  // seqs below this are received or repair-pending
+    // NDP only: new-data pulls queued but not yet sent for this flow. Lives
+    // here (not in a side map) so an arrival touches one flow record, period.
+    std::uint32_t pending_new_pulls = 0;
+    net::RingDeque<RepairEntry> repair_q;
 
     [[nodiscard]] std::uint64_t remaining_ungranted() const {
       const std::uint64_t base = static_cast<std::uint64_t>(unscheduled_pkts) + granted_new;
@@ -120,14 +124,18 @@ class ReceiverDrivenEndpoint : public TransportEndpoint {
   [[nodiscard]] bool wants_credit(ReceiverFlow& flow);
   // Packets currently presumed lost (repair entries not yet satisfied).
   [[nodiscard]] std::size_t presumed_lost(const ReceiverFlow& flow) const {
-    return flow.repair_set.size();
+    return flow.seqs.pending_repairs();
   }
 
-  std::unordered_map<net::FlowId, SenderFlow> snd_;
-  std::unordered_map<net::FlowId, ReceiverFlow> rcv_;
+  // Flow tables are open-addressing flat maps: one probe per arrival, no
+  // node allocations. References into them are invalidated by insert/erase
+  // (see flat_map.hpp); each packet event takes one handle up front and the
+  // event-driven design guarantees no re-entrant mutation while it is held.
+  util::FlatMap<net::FlowId, SenderFlow> snd_;
+  util::FlatMap<net::FlowId, ReceiverFlow> rcv_;
 
   // Receiver flows seen to completion; stale retransmissions are ignored.
-  std::unordered_set<net::FlowId> finished_rcv_;
+  util::FlatSet<net::FlowId> finished_rcv_;
 
  private:
   void on_data(net::Packet&& pkt) final;

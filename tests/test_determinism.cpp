@@ -109,6 +109,83 @@ TEST(Determinism, SerialAndParallelSweepIdentical) {
   EXPECT_EQ(js.str(), jp.str());
 }
 
+TEST(Determinism, Fig13StyleSweepSerialVsThreadsByteIdentical) {
+  // The shape of bench/fig13_utilization: all four protocols across several
+  // flow counts at load 0.6, exported as JSON. The export must be
+  // byte-identical between a serial run and a --threads=N run — this is the
+  // exact property that licenses running the figure sweeps in parallel.
+  std::vector<ExperimentConfig> points;
+  for (auto proto : {transport::Protocol::kPhost, transport::Protocol::kHoma,
+                     transport::Protocol::kNdp, transport::Protocol::kAmrt}) {
+    for (std::size_t n : {40u, 80u}) {
+      ExperimentConfig cfg;
+      cfg.proto = proto;
+      cfg.workload = workload::Kind::kDataMining;
+      cfg.load = 0.6;
+      cfg.n_flows = n;
+      cfg.leaves = 2;
+      cfg.spines = 2;
+      cfg.hosts_per_leaf = 4;
+      cfg.seed = 13;
+      points.push_back(cfg);
+    }
+  }
+
+  harness::SweepOptions serial;
+  serial.threads = 1;
+  auto serial_results = harness::SweepRunner{serial}.run(points);
+  harness::SweepOptions parallel;
+  parallel.threads = 4;
+  auto parallel_results = harness::SweepRunner{parallel}.run(points);
+
+  for (auto* results : {&serial_results, &parallel_results}) {
+    for (auto& r : *results) r.wall_seconds = 0.0;  // only non-deterministic field
+  }
+  std::ostringstream js, jp;
+  harness::write_results_json(js, points, serial_results);
+  harness::write_results_json(jp, points, parallel_results);
+  ASSERT_GT(js.str().size(), 0u);
+  EXPECT_EQ(js.str(), jp.str());
+}
+
+namespace {
+struct GoldenRecord {
+  std::uint64_t flow;
+  std::uint64_t bytes;
+  std::int64_t start_ns;
+  std::int64_t end_ns;
+};
+#include "golden_fct.inc"
+}  // namespace
+
+TEST(Determinism, GoldenSeedFctFixtureUnchanged) {
+  // Pinned scenario, fixture generated before the data-plane fast-path
+  // refactor (flat flow tables, dense routing + route cache, timing-wheel
+  // event queue). The refactor is licensed by producing bit-identical
+  // results; if this fails, an "optimization" changed observable behaviour.
+  // Regenerate golden_fct.inc only for a change that is *supposed* to alter
+  // results, and say so in the commit.
+  ExperimentConfig cfg;
+  cfg.proto = transport::Protocol::kAmrt;
+  cfg.workload = workload::Kind::kWebSearch;
+  cfg.load = 0.6;
+  cfg.n_flows = 80;
+  cfg.leaves = 2;
+  cfg.spines = 2;
+  cfg.hosts_per_leaf = 4;
+  cfg.seed = 42;
+  const auto r = harness::run_leaf_spine(cfg);
+
+  constexpr std::size_t kGolden = sizeof(kGoldenFct) / sizeof(kGoldenFct[0]);
+  ASSERT_EQ(r.flow_records.size(), kGolden);
+  for (std::size_t i = 0; i < kGolden; ++i) {
+    EXPECT_EQ(r.flow_records[i].flow, kGoldenFct[i].flow) << "record " << i;
+    EXPECT_EQ(r.flow_records[i].bytes, kGoldenFct[i].bytes) << "record " << i;
+    EXPECT_EQ(r.flow_records[i].start.ns(), kGoldenFct[i].start_ns) << "record " << i;
+    EXPECT_EQ(r.flow_records[i].end.ns(), kGoldenFct[i].end_ns) << "record " << i;
+  }
+}
+
 TEST(SweepRunner, ForEachRunsEveryIndexExactlyOnce) {
   harness::SweepOptions opts;
   opts.threads = 4;

@@ -1,6 +1,7 @@
 // Unit tests for routing tables, ECMP and switch forwarding.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "net/switch.hpp"
@@ -27,9 +28,21 @@ TEST(RoutingTable, SinglePathSelected) {
   EXPECT_EQ(rt.select(to_dst(NodeId{5})), 2);
 }
 
-TEST(RoutingTable, UnknownDestinationThrows) {
+TEST(RoutingTableDeathTest, UnknownDestinationAborts) {
+  // An unroutable packet mid-run is a wiring bug, not a recoverable error:
+  // the hot path aborts with a diagnostic instead of carrying throw
+  // machinery (misconfiguration is meant to be caught at build time by
+  // require_route).
   RoutingTable rt;
-  EXPECT_THROW((void)rt.select(to_dst(NodeId{9})), std::out_of_range);
+  rt.add_route(NodeId{1}, 0);
+  EXPECT_DEATH((void)rt.select(to_dst(NodeId{9})), "unknown destination");
+}
+
+TEST(RoutingTable, RequireRouteValidatesAtWiringTime) {
+  RoutingTable rt;
+  rt.add_route(NodeId{3}, 1);
+  EXPECT_NO_THROW(rt.require_route(NodeId{3}));
+  EXPECT_THROW(rt.require_route(NodeId{9}), std::logic_error);
 }
 
 TEST(RoutingTable, EcmpIsPerFlowDeterministic) {
@@ -57,6 +70,58 @@ TEST(RoutingTable, PortsForExposesEcmpSet) {
   rt.add_route(NodeId{1}, 3);
   EXPECT_EQ(rt.ports_for(NodeId{1}).size(), 2u);
   EXPECT_EQ(rt.destinations(), 1u);
+}
+
+TEST(RoutingTable, RouteCacheSurvivesChurnAndInvalidation) {
+  // The per-flow route cache must never change an answer: repeated lookups
+  // across many interleaved flows (direct-mapped slots will collide and
+  // evict) always reproduce the first pick, and adding a route afterwards
+  // rebuilds the table without stale cached ports escaping.
+  RoutingTable rt;
+  for (int p = 0; p < 3; ++p) rt.add_route(NodeId{1}, p);
+  std::map<FlowId, int> first_pick;
+  for (FlowId f = 1; f <= 2000; ++f) first_pick[f] = rt.select(to_dst(NodeId{1}, f));
+  for (int round = 0; round < 3; ++round) {
+    for (FlowId f = 1; f <= 2000; ++f) {
+      ASSERT_EQ(rt.select(to_dst(NodeId{1}, f)), first_pick[f]) << "flow " << f;
+    }
+  }
+  // Table mutation invalidates the compiled form and the cache wholesale;
+  // every answer must still be a member of the (new) ECMP set.
+  rt.add_route(NodeId{1}, 7);
+  std::set<int> used;
+  for (FlowId f = 1; f <= 2000; ++f) used.insert(rt.select(to_dst(NodeId{1}, f)));
+  for (int p : used) EXPECT_TRUE((p >= 0 && p < 3) || p == 7);
+  EXPECT_TRUE(used.count(7) > 0) << "new route never selected after invalidation";
+}
+
+TEST(RoutingTable, SprayCountersArePerDestination) {
+  // Two spray destinations on one switch must round-robin independently:
+  // with a shared counter, alternating traffic would visit only half of
+  // each destination's ports (correlated lockstep).
+  RoutingTable rt;
+  rt.set_mode(MultipathMode::kPacketSpray);
+  for (int p = 0; p < 2; ++p) rt.add_route(NodeId{1}, p);
+  for (int p = 2; p < 4; ++p) rt.add_route(NodeId{2}, p);
+  std::set<int> used1, used2;
+  for (int i = 0; i < 4; ++i) {
+    used1.insert(rt.select(to_dst(NodeId{1})));
+    used2.insert(rt.select(to_dst(NodeId{2})));
+  }
+  EXPECT_EQ(used1, (std::set<int>{0, 1}));
+  EXPECT_EQ(used2, (std::set<int>{2, 3}));
+}
+
+TEST(RoutingTable, SpraySkipsControlPackets) {
+  RoutingTable rt;
+  rt.set_mode(MultipathMode::kPacketSpray);
+  for (int p = 0; p < 4; ++p) rt.add_route(NodeId{1}, p);
+  Packet ctrl = to_dst(NodeId{1});
+  ctrl.type = PacketType::kGrant;
+  const int first = rt.select(ctrl);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(rt.select(ctrl), first) << "control packets must stay on the hashed path";
+  }
 }
 
 TEST(EcmpHash, DistinctForConsecutiveFlows) {

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Interleaved A/B comparison of micro_core benchmarks.
+
+Runs two micro_core binaries -- a baseline and a candidate -- in alternating
+rounds (A B A B ...) so slow drift in machine load hits both sides equally,
+then prints a per-benchmark delta table of CPU time. Interleaving plus
+median-of-rounds is what makes small (10-30%) wins trustworthy on a noisy
+box; a single back-to-back run is not.
+
+Typical use, comparing a git ref against the working tree:
+
+    python3 tools/bench_compare.py --baseline-ref <ref>
+
+which builds the ref's micro_core in a temporary git worktree (Release, same
+generator as ./build) and the working tree's in ./build. Or point it at two
+existing binaries:
+
+    python3 tools/bench_compare.py --baseline-bin old/micro_core \
+        --test-bin build/bench/micro_core
+
+Exits non-zero if any benchmark regresses by more than --fail-above (off by
+default), so it can gate CI.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import statistics
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run(cmd, **kw):
+    kw.setdefault("check", True)
+    return subprocess.run(cmd, **kw)
+
+
+def build_ref(ref, jobs):
+    """Builds micro_core at `ref` in a throwaway worktree; returns binary path."""
+    wt = tempfile.mkdtemp(prefix="bench_baseline_")
+    run(["git", "-C", REPO, "worktree", "add", "--detach", wt, ref],
+        stdout=subprocess.DEVNULL)
+    build = os.path.join(wt, "build")
+    run(["cmake", "-B", build, "-S", wt, "-DCMAKE_BUILD_TYPE=Release"],
+        stdout=subprocess.DEVNULL)
+    run(["cmake", "--build", build, "--target", "micro_core", "-j", str(jobs)],
+        stdout=subprocess.DEVNULL)
+    return os.path.join(build, "bench", "micro_core"), wt
+
+
+def cleanup_worktree(wt):
+    run(["git", "-C", REPO, "worktree", "remove", "--force", wt],
+        stdout=subprocess.DEVNULL, check=False)
+    shutil.rmtree(wt, ignore_errors=True)
+
+
+def run_bench(binary, bench_filter, min_time):
+    out = subprocess.run(
+        [binary,
+         f"--benchmark_filter={bench_filter}",
+         f"--benchmark_min_time={min_time}",
+         "--benchmark_format=json"],
+        check=True, capture_output=True, text=True)
+    doc = json.loads(out.stdout)
+    res = {}
+    for b in doc["benchmarks"]:
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip _mean/_median aggregate rows
+        res[b["name"]] = (b["cpu_time"], b["time_unit"])
+    return res
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    src = ap.add_mutually_exclusive_group(required=True)
+    src.add_argument("--baseline-ref", help="git ref to build as the baseline")
+    src.add_argument("--baseline-bin", help="path to a prebuilt baseline micro_core")
+    ap.add_argument("--test-bin", default=os.path.join(REPO, "build", "bench", "micro_core"),
+                    help="candidate binary (default: build/bench/micro_core)")
+    ap.add_argument("--filter", default=".", help="benchmark name regex")
+    ap.add_argument("--rounds", type=int, default=7,
+                    help="interleaved A/B rounds (default 7; median is reported)")
+    ap.add_argument("--min-time", default="0.2",
+                    help="per-benchmark --benchmark_min_time seconds (default 0.2)")
+    ap.add_argument("--fail-above", type=float, default=None,
+                    help="exit 1 if any benchmark's cpu-time ratio (new/old) exceeds this")
+    ap.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 4)
+    args = ap.parse_args()
+
+    worktree = None
+    try:
+        if args.baseline_ref:
+            print(f"building baseline micro_core at {args.baseline_ref} ...", flush=True)
+            baseline_bin, worktree = build_ref(args.baseline_ref, args.jobs)
+        else:
+            baseline_bin = args.baseline_bin
+
+        for binary in (baseline_bin, args.test_bin):
+            if not os.access(binary, os.X_OK):
+                sys.exit(f"error: {binary} is not an executable")
+
+        base_samples, test_samples = {}, {}
+        units = {}
+        for r in range(args.rounds):
+            print(f"round {r + 1}/{args.rounds} ...", flush=True)
+            for binary, sink in ((baseline_bin, base_samples), (args.test_bin, test_samples)):
+                for name, (cpu, unit) in run_bench(binary, args.filter, args.min_time).items():
+                    sink.setdefault(name, []).append(cpu)
+                    units[name] = unit
+
+        names = sorted(set(base_samples) & set(test_samples))
+        new_only = sorted(set(test_samples) - set(base_samples))
+        gone = sorted(set(base_samples) - set(test_samples))
+        if gone:
+            print(f"(benchmarks present only in the baseline: {', '.join(gone)})")
+
+        wname = max((len(n) for n in names), default=10)
+        header = (f"{'benchmark':<{wname}}  {'baseline':>12}  {'candidate':>12}  "
+                  f"{'ratio':>7}  {'speedup':>8}")
+        print()
+        print(header)
+        print("-" * len(header))
+        worst = 0.0
+        for name in names:
+            old = statistics.median(base_samples[name])
+            new = statistics.median(test_samples[name])
+            ratio = new / old if old else float("inf")
+            worst = max(worst, ratio)
+            unit = units[name]
+            print(f"{name:<{wname}}  {old:>10.3f}{unit:>2}  {new:>10.3f}{unit:>2}  "
+                  f"{ratio:>7.3f}  {1 / ratio:>7.2f}x")
+        print(f"\n(cpu time, median of {args.rounds} interleaved rounds; "
+              f"ratio < 1 means the candidate is faster)")
+
+        if new_only:
+            print("\nnew benchmarks (no baseline counterpart):")
+            for name in new_only:
+                new = statistics.median(test_samples[name])
+                print(f"  {name:<{wname}}  {new:>10.3f}{units[name]:>2}")
+
+        if args.fail_above is not None and worst > args.fail_above:
+            sys.exit(f"FAIL: worst ratio {worst:.3f} exceeds --fail-above {args.fail_above}")
+    finally:
+        if worktree:
+            cleanup_worktree(worktree)
+
+
+if __name__ == "__main__":
+    main()
