@@ -1,0 +1,31 @@
+// net-layer adapter for the audit subsystem.
+//
+// `audit/auditor.hpp` sits below `net/` in the include graph and speaks only
+// primitives; this header lives beside the packet type and provides the one
+// conversion the hook sites need. Included only by files that already
+// depend on net/packet.hpp.
+#pragma once
+
+#include "audit/auditor.hpp"
+#include "net/packet.hpp"
+
+namespace amrt::audit {
+
+[[nodiscard]] inline PacketInfo info_of(const net::Packet& pkt) {
+  PacketInfo p;
+  p.flow = pkt.flow;
+  p.seq = pkt.seq;
+  p.type = static_cast<std::uint8_t>(pkt.type);
+  p.wire_bytes = pkt.wire_bytes;
+  p.payload_bytes = pkt.payload_bytes;
+  p.is_data = pkt.type == net::PacketType::kData;
+  p.trimmed = pkt.trimmed;
+  p.ecn_capable = pkt.ecn_capable;
+  p.ce = pkt.ce;
+#ifdef AMRT_AUDIT
+  p.ce_expected = pkt.audit_ce_expected;
+#endif
+  return p;
+}
+
+}  // namespace amrt::audit

@@ -21,6 +21,12 @@ void AntiEcnMarker::on_dequeue(net::Packet& pkt, sim::TimePoint tx_start,
   // Eq. (3): CE_final = CE_current & CE_last.
   const bool before = pkt.ce;
   pkt.ce = pkt.ce && spare;
+#ifdef AMRT_AUDIT
+  // Shadow of Eq. (3) for the auditor: the AND of every hop's verdict,
+  // carried out-of-band so delivery can verify that nothing between the
+  // markers (queues, ports, switches) set or cleared the real CE bit.
+  pkt.audit_ce_expected = pkt.audit_ce_expected && spare;
+#endif
   if (pkt.ce) {
     ++kept_marked_;
   } else if (before) {

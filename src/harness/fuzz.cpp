@@ -1,0 +1,391 @@
+#include "harness/fuzz.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "audit/auditor.hpp"
+#include "core/factory.hpp"
+#include "harness/sweep.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "stats/fct.hpp"
+#include "workload/generator.hpp"
+#include "workload/workloads.hpp"
+
+namespace amrt::harness::fuzz {
+
+namespace {
+
+using transport::Protocol;
+
+// Splitmix-style finalizer: one seed, salted per (topo, protocol), yields
+// independent parameter streams so `--seed 7 --topo chain --transport ndp`
+// shares nothing with the same seed on another axis.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t case_salt(const CaseConfig& c) {
+  return (static_cast<std::uint64_t>(c.topo) << 8) | static_cast<std::uint64_t>(c.proto);
+}
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFFu;
+      h *= 1099511628211ULL;
+    }
+  }
+};
+
+// Everything a case draws before the simulation starts.
+struct CaseParams {
+  // Fabric.
+  int leaves = 2, spines = 1, hosts_per_leaf = 2;  // leaf-spine
+  int left_hosts = 2, right_hosts = 2;             // dumbbell
+  int chain_switches = 2, hosts_per_switch = 1;    // chain
+  sim::Bandwidth link_rate = sim::Bandwidth::gbps(10);
+  sim::Duration link_delay = sim::Duration::microseconds(10);
+  core::QueueConfig queues;
+  // Traffic.
+  workload::Kind workload = workload::Kind::kWebSearch;
+  double load = 0.5;
+  std::size_t n_flows = 16;
+};
+
+CaseParams draw_params(const CaseConfig& c, sim::Rng& rng) {
+  CaseParams p;
+  p.leaves = static_cast<int>(rng.uniform_int(2, 3));
+  p.spines = static_cast<int>(rng.uniform_int(1, 2));
+  p.hosts_per_leaf = static_cast<int>(rng.uniform_int(2, 4));
+  p.left_hosts = static_cast<int>(rng.uniform_int(2, 5));
+  p.right_hosts = static_cast<int>(rng.uniform_int(2, 5));
+  p.chain_switches = static_cast<int>(rng.uniform_int(2, 4));
+  p.hosts_per_switch = static_cast<int>(rng.uniform_int(1, 2));
+
+  static constexpr int kRates[] = {10, 25, 40};
+  p.link_rate = sim::Bandwidth::gbps(kRates[rng.index(3)]);
+  p.link_delay = sim::Duration::microseconds(rng.uniform_int(1, 50));
+
+  static constexpr std::size_t kBuffers[] = {8, 16, 32, 64, 128};
+  p.queues.buffer_pkts = kBuffers[rng.index(5)];
+  static constexpr std::size_t kTrim[] = {4, 8, 16};
+  p.queues.trim_threshold = kTrim[rng.index(3)];
+  // AMRT's selective-drop discipline is an orthogonal switch feature; flip
+  // it per case so both admission paths get fuzzed.
+  p.queues.selective_drop = c.proto == Protocol::kAmrt && rng.bernoulli(0.5);
+
+  p.workload = workload::kAllKinds[rng.index(workload::kAllKinds.size())];
+  p.load = rng.uniform(0.3, 0.8);
+  p.n_flows = static_cast<std::size_t>(rng.uniform_int(8, 40));
+  return p;
+}
+
+// A built scenario ready to run: the network plus per-host endpoints and
+// the base RTT the transports were configured with.
+struct Scenario {
+  std::vector<net::Host*> hosts;
+  std::vector<transport::TransportEndpoint*> endpoints;
+  sim::Duration base_rtt = sim::Duration::zero();
+};
+
+Scenario build_leaf_spine_case(net::Network& network, const CaseConfig& c, const CaseParams& p) {
+  net::LeafSpineConfig topo_cfg;
+  topo_cfg.leaves = p.leaves;
+  topo_cfg.spines = p.spines;
+  topo_cfg.hosts_per_leaf = p.hosts_per_leaf;
+  topo_cfg.link_rate = p.link_rate;
+  topo_cfg.link_delay = p.link_delay;
+  topo_cfg.host_nic_queue_pkts = p.queues.host_nic_pkts;
+  topo_cfg.queue_factory = core::make_queue_factory(c.proto, p.queues);
+  topo_cfg.marker_factory = core::make_marker_factory(c.proto);
+  net::LeafSpine topo = net::build_leaf_spine(network, topo_cfg);
+  Scenario s;
+  s.hosts = topo.hosts;
+  s.base_rtt = topo.base_rtt;
+  return s;
+}
+
+Scenario build_dumbbell_case(net::Network& network, const CaseConfig& c, const CaseParams& p) {
+  auto qf = core::make_queue_factory(c.proto, p.queues);
+  auto mf = core::make_marker_factory(c.proto);
+  auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
+  const auto rate = p.link_rate;
+  const auto delay = p.link_delay;
+
+  auto& left = network.add_switch("L");
+  auto& right = network.add_switch("R");
+  network.add_switch_port(left, right, rate, delay, qf(false), marker());
+  const int l_to_r = left.port_count() - 1;
+  network.add_switch_port(right, left, rate, delay, qf(false), marker());
+  const int r_to_l = right.port_count() - 1;
+
+  Scenario s;
+  auto attach = [&](net::Switch& sw, net::Switch& far, int far_port, int count, const char* tag) {
+    for (int i = 0; i < count; ++i) {
+      auto& host = network.add_host(std::string{tag} + std::to_string(i), rate, delay,
+                                    std::make_unique<net::DropTailQueue>(p.queues.host_nic_pkts));
+      const int down = network.attach_host(host, sw, qf(false), marker());
+      sw.routes().add_route(host.id(), down);
+      far.routes().add_route(host.id(), far_port);
+      s.hosts.push_back(&host);
+    }
+  };
+  attach(left, right, r_to_l, p.left_hosts, "l");
+  attach(right, left, l_to_r, p.right_hosts, "r");
+  for (const net::Host* h : s.hosts) {
+    left.routes().require_route(h->id());
+    right.routes().require_route(h->id());
+  }
+  // host -> ToR -> ToR -> host: three store-and-forward links.
+  s.base_rtt = net::path_base_rtt(3, rate, delay);
+  return s;
+}
+
+Scenario build_chain_case(net::Network& network, const CaseConfig& c, const CaseParams& p) {
+  auto qf = core::make_queue_factory(c.proto, p.queues);
+  auto mf = core::make_marker_factory(c.proto);
+  auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
+  const auto rate = p.link_rate;
+  const auto delay = p.link_delay;
+  const int k = p.chain_switches;
+
+  std::vector<net::Switch*> switches;
+  for (int i = 0; i < k; ++i) switches.push_back(&network.add_switch("C" + std::to_string(i)));
+  // right_port[i]: switch i -> i+1; left_port[i]: switch i -> i-1.
+  std::vector<int> right_port(k, -1);
+  std::vector<int> left_port(k, -1);
+  for (int i = 0; i + 1 < k; ++i) {
+    network.add_switch_port(*switches[i], *switches[i + 1], rate, delay, qf(false), marker());
+    right_port[i] = switches[i]->port_count() - 1;
+    network.add_switch_port(*switches[i + 1], *switches[i], rate, delay, qf(false), marker());
+    left_port[i + 1] = switches[i + 1]->port_count() - 1;
+  }
+
+  Scenario s;
+  std::vector<int> host_at;  // host index -> switch index
+  for (int i = 0; i < k; ++i) {
+    for (int h = 0; h < p.hosts_per_switch; ++h) {
+      auto& host =
+          network.add_host("h" + std::to_string(i) + "_" + std::to_string(h), rate, delay,
+                           std::make_unique<net::DropTailQueue>(p.queues.host_nic_pkts));
+      const int down = network.attach_host(host, *switches[i], qf(false), marker());
+      switches[i]->routes().add_route(host.id(), down);
+      s.hosts.push_back(&host);
+      host_at.push_back(i);
+    }
+  }
+  // Linear routing: every switch reaches every host by walking the chain.
+  for (std::size_t h = 0; h < s.hosts.size(); ++h) {
+    const int at = host_at[h];
+    for (int i = 0; i < k; ++i) {
+      if (i == at) continue;
+      switches[i]->routes().add_route(s.hosts[h]->id(), i < at ? right_port[i] : left_port[i]);
+    }
+    for (int i = 0; i < k; ++i) switches[i]->routes().require_route(s.hosts[h]->id());
+  }
+  // Worst case: end to end across all k switches, k+1 links.
+  s.base_rtt = net::path_base_rtt(k + 1, rate, delay);
+  return s;
+}
+
+Scenario build_case(net::Network& network, const CaseConfig& c, const CaseParams& p) {
+  switch (c.topo) {
+    case Topo::kLeafSpine:
+      return build_leaf_spine_case(network, c, p);
+    case Topo::kDumbbell:
+      return build_dumbbell_case(network, c, p);
+    case Topo::kChain:
+      return build_chain_case(network, c, p);
+  }
+  throw std::logic_error("fuzz: unknown topology");
+}
+
+// Livelock valve: typical cases finish in well under 10^5 events, and the
+// worst observed legitimate case (deep loss recovery with 8-packet buffers
+// under timeout backoff) converges around 6x10^6, so an order of magnitude
+// above that separates "slow recovery" from a genuinely stuck event loop,
+// which is reported as a failure instead of hanging the fuzzer.
+constexpr std::uint64_t kEventLimit = 50'000'000;
+
+}  // namespace
+
+const char* to_string(Topo t) {
+  switch (t) {
+    case Topo::kLeafSpine:
+      return "leafspine";
+    case Topo::kDumbbell:
+      return "dumbbell";
+    case Topo::kChain:
+      return "chain";
+  }
+  return "?";
+}
+
+Topo topo_from_string(const std::string& s) {
+  if (s == "leafspine" || s == "leaf-spine" || s == "ls") return Topo::kLeafSpine;
+  if (s == "dumbbell" || s == "db") return Topo::kDumbbell;
+  if (s == "chain") return Topo::kChain;
+  throw std::invalid_argument("unknown topology: " + s);
+}
+
+std::string repro_line(const CaseConfig& c) {
+  return std::string{"scenario_fuzz --seed "} + std::to_string(c.seed) + " --topo " +
+         to_string(c.topo) + " --transport " + transport::to_string(c.proto);
+}
+
+CaseResult run_case(const CaseConfig& c) {
+  // A fail-fast audit abort anywhere below prints this line.
+  audit::set_context(repro_line(c));
+
+  sim::Rng draw{mix(c.seed, case_salt(c))};
+  const CaseParams params = draw_params(c, draw);
+
+  sim::Simulation simu{mix(c.seed, case_salt(c) ^ 0xA5A5ULL)};
+  sim::Scheduler& sched = simu.scheduler();
+  net::Network network{simu};
+  Scenario scen = build_case(network, c, params);
+
+  transport::TransportConfig tcfg;
+  tcfg.host_rate = params.link_rate;
+  tcfg.base_rtt = scen.base_rtt;
+
+  stats::FctRecorder recorder{params.link_rate, scen.base_rtt};
+  scen.endpoints.reserve(scen.hosts.size());
+  for (net::Host* host : scen.hosts) {
+    auto ep = core::make_endpoint(c.proto, simu, *host, tcfg, &recorder);
+    scen.endpoints.push_back(ep.get());
+    host->attach(std::move(ep));
+  }
+
+  workload::FlowGenerator gen{workload::cdf(params.workload), simu.rng()};
+  workload::TrafficConfig traffic;
+  traffic.load = params.load;
+  traffic.n_flows = params.n_flows;
+  traffic.n_hosts = scen.hosts.size();
+  traffic.host_rate = params.link_rate;
+  const auto flows = gen.generate(traffic);
+
+  for (const auto& f : flows) {
+    transport::FlowSpec spec{f.id, scen.hosts[f.src_host]->id(), scen.hosts[f.dst_host]->id(),
+                             f.bytes, f.start};
+    transport::TransportEndpoint* src_ep = scen.endpoints[f.src_host];
+    sched.at(f.start, [src_ep, spec] { src_ep->start_flow(spec); });
+  }
+
+  // No samplers and no polling: once the last flow completes, recovery
+  // timers cancel and the event set empties, so run() returns at drain.
+  sched.set_event_limit(kEventLimit);
+  sched.run();
+
+  CaseResult r;
+  r.flows = flows.size();
+  r.completed = recorder.completed().size();
+  r.events = sched.events_processed();
+
+  auto fail = [&r](std::string why) {
+    if (r.ok) {
+      r.ok = false;
+      r.failure = std::move(why);
+    }
+  };
+
+  // Oracle 1: completion (an event-limit hit shows up here as livelock).
+  if (r.completed < r.flows) {
+    fail("incomplete: " + std::to_string(r.flows - r.completed) + " of " +
+         std::to_string(r.flows) + " flows unfinished" +
+         (r.events >= kEventLimit ? " (event limit hit)" : ""));
+  }
+
+  // Oracle 2: physics. Payload must serialize through the sender NIC and
+  // cross at least one propagation delay; queueing/loss only adds to that.
+  for (const auto& rec : recorder.completed()) {
+    const sim::Duration floor =
+        params.link_rate.tx_time(static_cast<std::int64_t>(rec.bytes)) + params.link_delay;
+    if (rec.fct() < floor) {
+      fail("fct below serialization floor: flow " + std::to_string(rec.flow) + " fct " +
+           rec.fct().str() + " < " + floor.str());
+      break;
+    }
+  }
+
+  // Oracle 3: queue accounting at drain, on every switch port and host NIC.
+  auto check_queue = [&](const net::EgressQueue& q, const std::string& where) {
+    const auto& st = q.stats();
+    if (q.total_pkts() != 0) {
+      fail(where + ": " + std::to_string(q.total_pkts()) + " packets stranded after drain");
+    } else if (st.enqueued != st.dequeued + st.dropped) {
+      fail(where + ": stats identity broken: enqueued " + std::to_string(st.enqueued) +
+           " != dequeued " + std::to_string(st.dequeued) + " + dropped " +
+           std::to_string(st.dropped));
+    }
+    r.drops += st.dropped;
+    r.trims += st.trimmed;
+  };
+  for (auto& sw : network.switches()) {
+    for (int i = 0; i < sw->port_count(); ++i) {
+      check_queue(sw->port(i).queue(), sw->name() + " port " + std::to_string(i));
+    }
+  }
+  for (net::Host* host : scen.hosts) check_queue(host->nic().queue(), host->name() + " nic");
+
+  // Oracle 4 (audit builds; all calls are no-op stubs otherwise): the
+  // conservation ledger must be drained and nothing may have tripped.
+  auto& auditor = simu.auditor();
+  auditor.check_drained();
+  r.audit_violations = auditor.violation_count();
+  if (r.audit_violations != 0) {
+    fail("audit: " + auditor.violations().front());
+  }
+
+  // Fingerprint, for replay/parallel bit-identity checks.
+  Fnv fnv;
+  fnv.add(r.flows);
+  for (const auto& rec : recorder.completed()) {
+    fnv.add(rec.flow);
+    fnv.add(rec.bytes);
+    fnv.add(static_cast<std::uint64_t>(rec.start.ns()));
+    fnv.add(static_cast<std::uint64_t>(rec.end.ns()));
+  }
+  fnv.add(r.drops);
+  fnv.add(r.trims);
+  fnv.add(r.events);
+  r.hash = fnv.h;
+  return r;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opts) {
+  std::vector<CaseConfig> cases;
+  cases.reserve(opts.topos.size() * opts.protocols.size() * opts.seeds);
+  for (const Topo topo : opts.topos) {
+    for (const Protocol proto : opts.protocols) {
+      for (std::uint64_t s = 0; s < opts.seeds; ++s) {
+        cases.push_back(CaseConfig{opts.first_seed + s, topo, proto});
+      }
+    }
+  }
+
+  SweepOptions sweep_opts;
+  sweep_opts.threads = opts.threads;
+  SweepRunner runner{sweep_opts};
+  const auto results = runner.map_points(cases, [](const CaseConfig& c) { return run_case(c); });
+
+  FuzzReport report;
+  report.cases = cases.size();
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (opts.on_case) opts.on_case(cases[i], results[i]);
+    if (!results[i].ok) {
+      ++report.failures;
+      report.failure_lines.push_back(repro_line(cases[i]) + "  # " + results[i].failure);
+    }
+  }
+  return report;
+}
+
+}  // namespace amrt::harness::fuzz

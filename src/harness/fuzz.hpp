@@ -1,0 +1,95 @@
+// Deterministic scenario fuzzer.
+//
+// Every case is a pure function of (seed, topology family, protocol): the
+// seed drives a private parameter stream (fabric shape, link speeds, queue
+// depths, workload, load, flow count) and the simulation's own stream, so a
+// failure reproduces bit-identically from its one-line repro. Cases build
+// sampler-free scenarios — no periodic monitors keep the event loop alive —
+// and run the scheduler to natural drain, then check oracles that hold for
+// every protocol on every topology:
+//
+//   * completion — every generated flow finishes (under an event-limit
+//     safety valve that converts livelock into a reported failure);
+//   * physics — each FCT is at least the flow's serialization time at the
+//     NIC plus one link propagation;
+//   * queue accounting — after drain every queue is empty and satisfies
+//     enqueued == dequeued + dropped;
+//   * audit — in AMRT_AUDIT builds, the run's Auditor (packet conservation,
+//     byte ledgers, marked-grant allowance, anti-ECN Eq. 3, ...) reports
+//     zero violations and a drained ledger.
+//
+// `run_fuzz` sweeps a seed range across topologies and protocols on the
+// SweepRunner pool; because each case owns its Simulation, parallel results
+// are byte-identical to serial (checked by tests/test_scenario_fuzz.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "transport/config.hpp"
+
+namespace amrt::harness::fuzz {
+
+enum class Topo : std::uint8_t { kLeafSpine, kDumbbell, kChain };
+
+inline constexpr std::array<Topo, 3> kAllTopos = {Topo::kLeafSpine, Topo::kDumbbell, Topo::kChain};
+
+[[nodiscard]] const char* to_string(Topo t);
+// Accepts "leafspine" / "leaf-spine" / "dumbbell" / "chain"; throws on junk.
+[[nodiscard]] Topo topo_from_string(const std::string& s);
+
+struct CaseConfig {
+  std::uint64_t seed = 1;
+  Topo topo = Topo::kLeafSpine;
+  transport::Protocol proto = transport::Protocol::kAmrt;
+};
+
+struct CaseResult {
+  bool ok = true;
+  std::string failure;  // first violated oracle, "" when ok
+
+  // Run fingerprint: FNV-1a over every completed flow record plus the
+  // drop/trim/event counters. Two runs of one CaseConfig must agree bit for
+  // bit (the replay-determinism oracle of the ctest smoke).
+  std::uint64_t hash = 0;
+
+  std::size_t flows = 0;
+  std::size_t completed = 0;
+  std::uint64_t events = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t trims = 0;
+  std::uint64_t audit_violations = 0;  // always 0 in non-audit builds
+};
+
+// The one-line reproduction command for a case.
+[[nodiscard]] std::string repro_line(const CaseConfig& c);
+
+// Builds, runs and checks one case. Sets the audit replay context to
+// `repro_line(c)` so a fail-fast audit abort prints how to reproduce it.
+[[nodiscard]] CaseResult run_case(const CaseConfig& c);
+
+struct FuzzOptions {
+  std::uint64_t first_seed = 1;
+  std::uint64_t seeds = 25;  // per (topo, protocol) pair
+  std::vector<Topo> topos{kAllTopos.begin(), kAllTopos.end()};
+  std::vector<transport::Protocol> protocols{
+      transport::Protocol::kAmrt, transport::Protocol::kPhost, transport::Protocol::kHoma,
+      transport::Protocol::kNdp};
+  unsigned threads = 0;  // SweepRunner: 0 = one per hardware core
+  // Called after each case (serialized), for progress/reporting.
+  std::function<void(const CaseConfig&, const CaseResult&)> on_case;
+};
+
+struct FuzzReport {
+  std::size_t cases = 0;
+  std::size_t failures = 0;
+  // One "<repro line>  # <failure>" entry per failing case, input order.
+  std::vector<std::string> failure_lines;
+};
+
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& opts);
+
+}  // namespace amrt::harness::fuzz

@@ -12,6 +12,11 @@ void Host::attach(std::unique_ptr<PacketSink> sink) { sink_ = std::move(sink); }
 
 void Host::handle_packet(Packet&& pkt, int /*ingress_port*/) {
   bytes_received_ += pkt.wire_bytes;
+#ifdef AMRT_AUDIT
+  // The audited delivery point: closes this copy's ledger entry and checks
+  // the Eq. 3 CE composition for data packets.
+  if (auto* a = nic_.scheduler().auditor()) a->on_deliver(audit::info_of(pkt));
+#endif
   if (sink_ != nullptr) {
     sink_->deliver(std::move(pkt));
   } else {

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "audit/hooks.hpp"
 #include "net/node.hpp"
 #include "net/port.hpp"
 #include "sim/scheduler.hpp"
@@ -21,8 +22,19 @@ class Host final : public Node {
   void attach(std::unique_ptr<PacketSink> sink);
   [[nodiscard]] bool has_sink() const { return sink_ != nullptr; }
 
-  // Transmits via the NIC (subject to its queue and line rate).
-  void send(Packet&& pkt) { nic_.enqueue(std::move(pkt)); }
+  // Transmits via the NIC (subject to its queue and line rate). This is the
+  // audited injection point: everything a transport puts on the wire enters
+  // the packet-conservation ledger here, and the anti-ECN shadow bit starts
+  // as the sender's CE (each hop's marker ANDs its verdict into both).
+  void send(Packet&& pkt) {
+#ifdef AMRT_AUDIT
+    if (auto* a = nic_.scheduler().auditor()) {
+      pkt.audit_ce_expected = pkt.ce;
+      a->on_inject(audit::info_of(pkt));
+    }
+#endif
+    nic_.enqueue(std::move(pkt));
+  }
 
   void handle_packet(Packet&& pkt, int ingress_port) override;
 

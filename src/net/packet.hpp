@@ -64,6 +64,14 @@ struct Packet {
 
   sim::TimePoint created{};
 
+#ifdef AMRT_AUDIT
+  // Audit builds only: the AND of every hop's anti-ECN verdict, maintained
+  // in parallel with `ce` so the auditor can verify Eq. 3 end to end. Lives
+  // on the packet copy (not in the ledger) because a retransmission of the
+  // same (flow, seq) may see different hop verdicts than the original.
+  bool audit_ce_expected = false;
+#endif
+
   [[nodiscard]] bool is_control() const { return type != PacketType::kData || trimmed; }
   [[nodiscard]] std::string str() const;
 };

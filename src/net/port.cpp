@@ -9,6 +9,9 @@ EgressPort::EgressPort(sim::Scheduler& sched, Config cfg, std::unique_ptr<Egress
     : sched_{sched}, cfg_{std::move(cfg)}, queue_{std::move(queue)}, jitter_rng_{cfg_.jitter_seed} {
   if (!queue_) throw std::invalid_argument("EgressPort requires a queue");
   if (cfg_.rate.bits_per_second() <= 0) throw std::invalid_argument("EgressPort requires a positive rate");
+  // In audit builds the queue reports occupancy/byte accounting to the
+  // run's auditor; with a bare Scheduler (unit tests) there is none.
+  queue_->audit_bind(sched_.auditor());
 }
 
 void EgressPort::connect(Node& peer, int peer_ingress_port) {

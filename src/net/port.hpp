@@ -49,6 +49,7 @@ class EgressPort {
 
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] const EgressQueue& queue() const { return *queue_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] bool busy() const { return sched_.now() < busy_until_; }
 
   // --- telemetry (read by monitors) ---

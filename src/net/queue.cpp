@@ -7,20 +7,19 @@ namespace amrt::net {
 bool SelectiveDropQueue::data_enqueue(Packet&& pkt) {
   if (fifo_.size() >= capacity_) {
     if (pkt.unscheduled) {
-      ++stats_.dropped;
-      return false;
+      return drop_data(std::move(pkt), audit::DropReason::kUnscheduledSacrifice);
     }
     // Scheduled traffic evicts the youngest blind packet, if any.
     for (std::size_t i = fifo_.size(); i-- > 0;) {
       if (fifo_[i].unscheduled) {
+        drop_admitted(std::move(fifo_[i]), audit::DropReason::kEvictedUnscheduled);
         fifo_.erase(i);
-        ++stats_.dropped;
         fifo_.push_back(std::move(pkt));
         return true;
       }
     }
-    ++stats_.dropped;  // queue full of scheduled packets: tail drop
-    return false;
+    // Queue full of scheduled packets: tail drop.
+    return drop_data(std::move(pkt), audit::DropReason::kDataCapacity);
   }
   fifo_.push_back(std::move(pkt));
   return true;

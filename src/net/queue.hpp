@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "audit/hooks.hpp"
 #include "net/packet.hpp"
 #include "net/ring_deque.hpp"
 
@@ -64,6 +65,16 @@ class EgressQueue {
   [[nodiscard]] QueueKind kind() const { return kind_; }
   [[nodiscard]] const QueueStats& stats() const { return stats_; }
 
+  // Attaches the run's invariant auditor (EgressPort does this at wiring
+  // time). A no-op in builds without AMRT_AUDIT.
+  void audit_bind(audit::Auditor* a) {
+#ifdef AMRT_AUDIT
+    audit_ = a;
+#else
+    (void)a;
+#endif
+  }
+
  protected:
   explicit EgressQueue(QueueKind kind = QueueKind::kCustom) : kind_{kind} {}
 
@@ -72,8 +83,67 @@ class EgressQueue {
   [[nodiscard]] virtual std::optional<Packet> data_dequeue() = 0;
   [[nodiscard]] virtual std::size_t data_size() const = 0;
 
-  // Hook for TrimmingQueue to divert a trimmed header into the control band.
-  void push_control(Packet&& pkt) { control_.push_back(std::move(pkt)); }
+  // --- instrumented loss/trim choke points ---------------------------------
+  // Every way a packet can leave a queue other than dequeue() goes through
+  // exactly one of these three helpers, so the drop/trim statistics and the
+  // audit build's byte accounting cannot drift apart per-discipline.
+
+  // Refuses an arriving packet at the data band. Returns false so callers
+  // can `return drop_data(...)` from data_enqueue.
+  bool drop_data(Packet&& pkt, audit::DropReason reason) {
+    ++stats_.dropped;
+#ifdef AMRT_AUDIT
+    if (audit_ != nullptr) audit_->on_drop(audit::info_of(pkt), reason);
+#endif
+    (void)pkt;
+    (void)reason;
+    return false;
+  }
+
+  // Evicts a packet that was already admitted into the data band (Aeolus
+  // selective drop): the occupancy shadow must shrink too.
+  void drop_admitted(Packet&& pkt, audit::DropReason reason) {
+    ++stats_.dropped;
+#ifdef AMRT_AUDIT
+    if (audit_ != nullptr) {
+      audit_->on_queue_unadmit(this, pkt.wire_bytes);
+      audit_->on_drop(audit::info_of(pkt), reason);
+    }
+#endif
+    (void)pkt;
+    (void)reason;
+  }
+
+  // NDP trim: cuts the payload and promotes the 64B header into the control
+  // band. The byte shadow records the header at its post-trim size — the
+  // 1500B payload leaves the accounting here, attributed as a trim.
+  void trim_to_control(Packet&& pkt) {
+    const std::uint32_t removed = pkt.payload_bytes;
+    pkt.trimmed = true;
+    pkt.payload_bytes = 0;
+    pkt.wire_bytes = kCtrlBytes;
+    ++stats_.trimmed;
+#ifdef AMRT_AUDIT
+    if (audit_ != nullptr) audit_->on_trim(audit::info_of(pkt), removed);
+#endif
+    (void)removed;
+    push_control(std::move(pkt));
+  }
+
+  // Admission into the control band (direct control packets and trimmed
+  // headers) — the control-band admit hook fires here.
+  void push_control(Packet&& pkt) {
+#ifdef AMRT_AUDIT
+    const std::uint32_t wire = pkt.wire_bytes;
+#endif
+    control_.push_back(std::move(pkt));
+#ifdef AMRT_AUDIT
+    if (audit_ != nullptr) {
+      audit_->on_queue_admit(this, wire, total_pkts(), stats_.enqueued, stats_.dequeued,
+                             stats_.dropped);
+    }
+#endif
+  }
   QueueStats stats_;
 
  private:
@@ -83,6 +153,9 @@ class EgressQueue {
 
   RingDeque<Packet> control_;
   QueueKind kind_;
+#ifdef AMRT_AUDIT
+  audit::Auditor* audit_ = nullptr;
+#endif
 };
 
 class DropTailQueue final : public EgressQueue {
@@ -96,8 +169,7 @@ class DropTailQueue final : public EgressQueue {
   // at every call site (ports sit in a different TU).
   bool data_enqueue(Packet&& pkt) override {
     if (fifo_.size() >= capacity_) {
-      ++stats_.dropped;
-      return false;
+      return drop_data(std::move(pkt), audit::DropReason::kDataCapacity);
     }
     fifo_.push_back(std::move(pkt));
     return true;
@@ -126,11 +198,7 @@ class TrimmingQueue final : public EgressQueue {
     if (fifo_.size() >= threshold_) {
       // NDP: cut the payload, keep the header. The header rides the control
       // band so the receiver learns of the loss one RTT faster than a timeout.
-      pkt.trimmed = true;
-      pkt.payload_bytes = 0;
-      pkt.wire_bytes = kCtrlBytes;
-      ++stats_.trimmed;
-      push_control(std::move(pkt));
+      trim_to_control(std::move(pkt));
       return false;  // not accepted into the data band (counted as trim, not drop)
     }
     fifo_.push_back(std::move(pkt));
@@ -183,8 +251,7 @@ class StrictPriorityQueue final : public EgressQueue {
  protected:
   bool data_enqueue(Packet&& pkt) override {
     if (size_ >= capacity_) {
-      ++stats_.dropped;
-      return false;
+      return drop_data(std::move(pkt), audit::DropReason::kDataCapacity);
     }
     const std::size_t band = std::min<std::size_t>(pkt.priority, bands_.size() - 1);
     bands_[band].push_back(std::move(pkt));
@@ -274,16 +341,37 @@ inline void EgressQueue::enqueue(Packet&& pkt) {
     stats_.data_bytes_in += bytes;
     const std::size_t depth = data_pkts();
     if (depth > stats_.max_data_pkts) stats_.max_data_pkts = depth;
+#ifdef AMRT_AUDIT
+    if (audit_ != nullptr) {
+      audit_->on_queue_admit(this, bytes, total_pkts(), stats_.enqueued, stats_.dequeued,
+                             stats_.dropped);
+    }
+#endif
   }
 }
 
 inline std::optional<Packet> EgressQueue::dequeue() {
   if (!control_.empty()) {
     ++stats_.dequeued;
-    return control_.pop_front();
+    std::optional<Packet> pkt{control_.pop_front()};
+#ifdef AMRT_AUDIT
+    if (audit_ != nullptr) {
+      audit_->on_queue_dequeue(this, pkt->wire_bytes, total_pkts(), stats_.enqueued,
+                               stats_.dequeued, stats_.dropped);
+    }
+#endif
+    return pkt;
   }
   auto pkt = dispatch_dequeue();
-  if (pkt) ++stats_.dequeued;
+  if (pkt) {
+    ++stats_.dequeued;
+#ifdef AMRT_AUDIT
+    if (audit_ != nullptr) {
+      audit_->on_queue_dequeue(this, pkt->wire_bytes, total_pkts(), stats_.enqueued,
+                               stats_.dequeued, stats_.dropped);
+    }
+#endif
+  }
   return pkt;
 }
 

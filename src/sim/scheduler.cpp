@@ -4,6 +4,9 @@ namespace amrt::sim {
 
 bool Scheduler::dispatch_next(TimePoint horizon) {
   return queue_.fire_next(horizon, [this](TimePoint when) {
+#ifdef AMRT_AUDIT
+    if (auditor_ != nullptr) auditor_->on_event_fire(when.ns(), now_.ns());
+#endif
     now_ = when;
     ++processed_;
   });

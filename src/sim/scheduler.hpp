@@ -9,6 +9,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "audit/auditor.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -62,6 +63,18 @@ class Scheduler {
   // Safety valve for runaway simulations (0 = unlimited).
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
+  // Invariant auditor attached to this run (normally by the owning
+  // Simulation). In builds without AMRT_AUDIT `auditor()` is a constexpr
+  // nullptr, so every `if (auto* a = sched.auditor()) a->hook(...)` site —
+  // arguments included — is dead code the compiler removes.
+#ifdef AMRT_AUDIT
+  void set_auditor(audit::Auditor* a) { auditor_ = a; }
+  [[nodiscard]] audit::Auditor* auditor() const { return auditor_; }
+#else
+  void set_auditor(audit::Auditor* /*a*/) {}
+  [[nodiscard]] static constexpr audit::Auditor* auditor() { return nullptr; }
+#endif
+
  private:
   bool dispatch_next(TimePoint horizon);
 
@@ -70,6 +83,9 @@ class Scheduler {
   std::uint64_t processed_ = 0;
   std::uint64_t event_limit_ = 0;
   bool stopped_ = false;
+#ifdef AMRT_AUDIT
+  audit::Auditor* auditor_ = nullptr;
+#endif
 };
 
 }  // namespace amrt::sim

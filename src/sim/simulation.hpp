@@ -38,7 +38,12 @@ class TraceSink {
 
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed = 1) : seed_{seed}, rng_{seed} {}
+  explicit Simulation(std::uint64_t seed = 1) : seed_{seed}, rng_{seed} {
+    // The auditor lives and dies with the run (per-Simulation state, so
+    // parallel sweeps never share a check path). In builds without
+    // AMRT_AUDIT this binds a stateless stub and compiles to nothing.
+    sched_.set_auditor(&auditor_);
+  }
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -46,6 +51,8 @@ class Simulation {
   [[nodiscard]] const Scheduler& scheduler() const { return sched_; }
   [[nodiscard]] Rng& rng() { return rng_; }
   [[nodiscard]] TraceSink& trace() { return trace_; }
+  [[nodiscard]] audit::Auditor& auditor() { return auditor_; }
+  [[nodiscard]] const audit::Auditor& auditor() const { return auditor_; }
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   // Clock and event-loop conveniences, so most callers never name the
@@ -69,6 +76,7 @@ class Simulation {
   Scheduler sched_;
   Rng rng_;
   TraceSink trace_;
+  audit::Auditor auditor_;
 };
 
 }  // namespace amrt::sim

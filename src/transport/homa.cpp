@@ -53,6 +53,9 @@ void HomaEndpoint::pump_grants() {
 }
 
 void HomaEndpoint::send_offset_grant(ReceiverFlow& flow, std::uint64_t offset, std::uint8_t priority) {
+#ifdef AMRT_AUDIT
+  if (auto* a = sched_.auditor()) a->on_offset_grant(flow.id, offset, flow.bytes);
+#endif
   Packet grant = make_grant(flow);
   grant.grant_offset = offset;
   grant.priority = priority;

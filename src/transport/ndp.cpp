@@ -57,13 +57,27 @@ void NdpEndpoint::pacer_fire() {
     ReceiverFlow& flow = *open;
     Packet pull = make_grant(flow);
     if (req.rtx_seq >= 0) {
+#ifdef AMRT_AUDIT
+      if (auto* a = sched_.auditor()) {
+        a->on_repair_grant(flow.id, static_cast<std::uint32_t>(req.rtx_seq), flow.total_pkts);
+      }
+#endif
       pull.request_seq = req.rtx_seq;
       pull.allowance = 0;
     } else {
       if (flow.pending_new_pulls > 0) --flow.pending_new_pulls;
-      if (flow.remaining_ungranted() == 0) continue;  // raced with recovery grants
+      const std::uint64_t remaining = flow.remaining_ungranted();
+      if (remaining == 0) continue;  // raced with recovery grants
       ++flow.granted_new;
       pull.allowance = 1;
+#ifdef AMRT_AUDIT
+      if (auto* a = sched_.auditor()) {
+        // Pull pacing bypasses grant_new, so this leg reports separately.
+        a->on_grant_sent(flow.id, /*marked=*/false, 1,
+                         static_cast<std::uint64_t>(flow.unscheduled_pkts) + flow.granted_new,
+                         flow.total_pkts, remaining, /*marked_expected=*/0);
+      }
+#endif
     }
     last_pull_ = sched_.now();
     send(std::move(pull));

@@ -98,7 +98,19 @@ void ReceiverDrivenEndpoint::on_grant(Packet&& pkt) {
   if (flow == nullptr) return;   // flow already torn down
   if (!cfg_.responsive) return;  // Fig. 14: unresponsive senders ignore credit
   flow->sched_priority = pkt.priority;
+#ifdef AMRT_AUDIT
+  const std::uint64_t sent_before = flow->packets_sent;
+#endif
   handle_grant_packet(*flow, pkt);
+#ifdef AMRT_AUDIT
+  if (auto* a = sched_.auditor()) {
+    // The sender must not overshoot the grant: one packet for a repair
+    // request, at most `allowance` otherwise. Homa's byte-offset grants
+    // (grant_offset > 0) authorize by position, not count — exempt.
+    a->on_grant_response(pkt.flow, pkt.allowance, pkt.request_seq,
+                         flow->packets_sent - sent_before, pkt.grant_offset > 0);
+  }
+#endif
 }
 
 void ReceiverDrivenEndpoint::on_done(Packet&& pkt) { snd_.erase(pkt.flow); }
@@ -149,6 +161,15 @@ std::uint32_t ReceiverDrivenEndpoint::grant_new(ReceiverFlow& flow, std::uint32_
       std::min<std::uint64_t>(count, remaining));
   if (credits == 0) return 0;
   flow.granted_new += credits;
+#ifdef AMRT_AUDIT
+  if (auto* a = sched_.auditor()) {
+    // A marked AMRT grant must carry exactly the configured allowance (the
+    // paper's "send one more"), clamped only by what is left to grant.
+    a->on_grant_sent(flow.id, marked, credits,
+                     static_cast<std::uint64_t>(flow.unscheduled_pkts) + flow.granted_new,
+                     flow.total_pkts, remaining, marked ? cfg_.amrt_marked_allowance : 0);
+  }
+#endif
   Packet grant = make_grant(flow);
   grant.allowance = static_cast<std::uint16_t>(credits);
   grant.marked_grant = marked;
@@ -229,6 +250,9 @@ std::uint32_t ReceiverDrivenEndpoint::issue_credits(ReceiverFlow& flow, std::uin
   while (issued < count) {
     const auto repair = pop_due_repair(flow);
     if (!repair) break;
+#ifdef AMRT_AUDIT
+    if (auto* a = sched_.auditor()) a->on_repair_grant(flow.id, *repair, flow.total_pkts);
+#endif
     Packet grant = make_grant(flow);
     grant.request_seq = static_cast<std::int64_t>(*repair);
     grant.allowance = 0;
@@ -258,6 +282,14 @@ void ReceiverDrivenEndpoint::on_rts(Packet&& pkt) {
 
 void ReceiverDrivenEndpoint::finish_receive(ReceiverFlow& flow) {
   flow.recovery_timer.cancel();
+#ifdef AMRT_AUDIT
+  if (auto* a = sched_.auditor()) {
+    // Bitmap consistency at completion: the received counter, the total and
+    // the popcount of the got-bits must all agree. Also registers the flow
+    // as finished so any later grant for it is flagged.
+    a->on_flow_finished(flow.id, flow.total_pkts, flow.received_pkts, flow.seqs.count_got());
+  }
+#endif
   Packet done = make_grant(flow);
   done.type = PacketType::kDone;
   send(std::move(done));
@@ -310,6 +342,9 @@ void ReceiverDrivenEndpoint::recovery_fire(net::FlowId id) {
       if (seq == flow.scan_cursor) ++flow.scan_cursor;  // advance past the received prefix
       continue;
     }
+#ifdef AMRT_AUDIT
+    if (auto* a = sched_.auditor()) a->on_repair_grant(flow.id, seq, flow.total_pkts);
+#endif
     Packet grant = make_grant(flow);
     grant.request_seq = seq;
     grant.allowance = 0;

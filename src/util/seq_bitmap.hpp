@@ -12,6 +12,7 @@
 // `pending_repairs()` O(1).
 #pragma once
 
+#include <bit>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -66,6 +67,17 @@ class SeqBitmap {
 
   // Number of sequences currently marked repair-pending.
   [[nodiscard]] std::size_t pending_repairs() const { return repair_count_; }
+
+  // Number of received bits set, by popcount over the even (got) bit lanes.
+  // O(words); used by consistency checks at flow completion, not per packet.
+  [[nodiscard]] std::uint32_t count_got() const {
+    constexpr std::uint64_t kGotLanes = 0x5555555555555555ULL;
+    std::uint32_t n = 0;
+    for (const std::uint64_t w : words_) {
+      n += static_cast<std::uint32_t>(std::popcount(w & kGotLanes));
+    }
+    return n;
+  }
 
  private:
   [[nodiscard]] static constexpr unsigned shift_got(std::uint32_t seq) {

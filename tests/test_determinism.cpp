@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <iterator>
 #include <sstream>
 #include <vector>
 
@@ -159,30 +160,45 @@ struct GoldenRecord {
 }  // namespace
 
 TEST(Determinism, GoldenSeedFctFixtureUnchanged) {
-  // Pinned scenario, fixture generated before the data-plane fast-path
-  // refactor (flat flow tables, dense routing + route cache, timing-wheel
-  // event queue). The refactor is licensed by producing bit-identical
-  // results; if this fails, an "optimization" changed observable behaviour.
-  // Regenerate golden_fct.inc only for a change that is *supposed* to alter
-  // results, and say so in the commit.
-  ExperimentConfig cfg;
-  cfg.proto = transport::Protocol::kAmrt;
-  cfg.workload = workload::Kind::kWebSearch;
-  cfg.load = 0.6;
-  cfg.n_flows = 80;
-  cfg.leaves = 2;
-  cfg.spines = 2;
-  cfg.hosts_per_leaf = 4;
-  cfg.seed = 42;
-  const auto r = harness::run_leaf_spine(cfg);
+  // Pinned scenario under every transport. The AMRT fixture was generated
+  // before the data-plane fast-path refactor (flat flow tables, dense
+  // routing + route cache, timing-wheel event queue) and has been
+  // bit-identical since; the other three were pinned when the audit
+  // subsystem landed, locking all protocol behaviour against accidental
+  // drift. If this fails, an "optimization" changed observable behaviour.
+  // Regenerate golden_fct.inc (tools/regen_golden.sh) only for a change
+  // that is *supposed* to alter results, and say so in the commit.
+  struct Fixture {
+    transport::Protocol proto;
+    const GoldenRecord* golden;
+    std::size_t count;
+  };
+  const Fixture fixtures[] = {
+      {transport::Protocol::kAmrt, kGoldenFctAmrt, std::size(kGoldenFctAmrt)},
+      {transport::Protocol::kPhost, kGoldenFctPhost, std::size(kGoldenFctPhost)},
+      {transport::Protocol::kHoma, kGoldenFctHoma, std::size(kGoldenFctHoma)},
+      {transport::Protocol::kNdp, kGoldenFctNdp, std::size(kGoldenFctNdp)},
+  };
+  for (const auto& fixture : fixtures) {
+    SCOPED_TRACE(transport::to_string(fixture.proto));
+    ExperimentConfig cfg;
+    cfg.proto = fixture.proto;
+    cfg.workload = workload::Kind::kWebSearch;
+    cfg.load = 0.6;
+    cfg.n_flows = 80;
+    cfg.leaves = 2;
+    cfg.spines = 2;
+    cfg.hosts_per_leaf = 4;
+    cfg.seed = 42;
+    const auto r = harness::run_leaf_spine(cfg);
 
-  constexpr std::size_t kGolden = sizeof(kGoldenFct) / sizeof(kGoldenFct[0]);
-  ASSERT_EQ(r.flow_records.size(), kGolden);
-  for (std::size_t i = 0; i < kGolden; ++i) {
-    EXPECT_EQ(r.flow_records[i].flow, kGoldenFct[i].flow) << "record " << i;
-    EXPECT_EQ(r.flow_records[i].bytes, kGoldenFct[i].bytes) << "record " << i;
-    EXPECT_EQ(r.flow_records[i].start.ns(), kGoldenFct[i].start_ns) << "record " << i;
-    EXPECT_EQ(r.flow_records[i].end.ns(), kGoldenFct[i].end_ns) << "record " << i;
+    ASSERT_EQ(r.flow_records.size(), fixture.count);
+    for (std::size_t i = 0; i < fixture.count; ++i) {
+      EXPECT_EQ(r.flow_records[i].flow, fixture.golden[i].flow) << "record " << i;
+      EXPECT_EQ(r.flow_records[i].bytes, fixture.golden[i].bytes) << "record " << i;
+      EXPECT_EQ(r.flow_records[i].start.ns(), fixture.golden[i].start_ns) << "record " << i;
+      EXPECT_EQ(r.flow_records[i].end.ns(), fixture.golden[i].end_ns) << "record " << i;
+    }
   }
 }
 

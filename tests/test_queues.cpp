@@ -166,3 +166,86 @@ TEST(Queues, DequeueCountsInStats) {
   EXPECT_EQ(q.stats().dequeued, 2u);
   EXPECT_TRUE(q.empty());
 }
+
+// ---------------------------------------------------------------------------
+// Drop/trim path regressions. Every disposition now routes through one
+// instrumented helper each (drop_data / drop_admitted / trim_to_control);
+// these lock the accounting those helpers guarantee: the stats identity
+// enqueued == dequeued + dropped + depth at every step, and a packet is
+// trimmed or dropped, never both.
+// ---------------------------------------------------------------------------
+
+namespace {
+void expect_stats_identity(const EgressQueue& q) {
+  EXPECT_EQ(q.stats().enqueued, q.stats().dequeued + q.stats().dropped + q.total_pkts());
+}
+}  // namespace
+
+TEST(Trimming, TrimThenDrainNeverDrops) {
+  // The NDP regression: heavy congestion interleaved with service. Trimmed
+  // packets convert to control headers in place — they must count as
+  // enqueued (they are still in the queue) and never as dropped, or the
+  // identity (and the fabric-wide conservation audit) breaks.
+  TrimmingQueue q{2};
+  std::size_t trimmed_out = 0;
+  const auto drain_n = [&](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto p = q.dequeue();
+      ASSERT_TRUE(p.has_value());
+      if (p->trimmed) ++trimmed_out;
+    }
+  };
+  for (std::uint32_t i = 0; i < 4; ++i) q.enqueue(data_pkt(i));
+  expect_stats_identity(q);
+  drain_n(2);  // trimmed headers first (control jumps the data band)
+  expect_stats_identity(q);
+  for (std::uint32_t i = 4; i < 8; ++i) q.enqueue(data_pkt(i));
+  expect_stats_identity(q);
+  while (auto p = q.dequeue()) {
+    if (p->trimmed) ++trimmed_out;
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.stats().dropped, 0u);
+  EXPECT_GT(q.stats().trimmed, 0u);
+  EXPECT_EQ(trimmed_out, q.stats().trimmed);  // every trim was delivered as a header
+  EXPECT_EQ(q.stats().enqueued, q.stats().dequeued);
+  expect_stats_identity(q);
+}
+
+TEST(SelectiveDrop, UnscheduledSacrificeKeepsIdentity) {
+  SelectiveDropQueue q{2};
+  Packet blind = data_pkt(0);
+  blind.unscheduled = true;
+  q.enqueue(std::move(blind));
+  q.enqueue(data_pkt(1));
+  Packet refused = data_pkt(2);
+  refused.unscheduled = true;  // blind arrival at a full band is sacrificed
+  q.enqueue(std::move(refused));
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.data_pkts(), 2u);
+  expect_stats_identity(q);
+}
+
+TEST(SelectiveDrop, EvictionCountsExactlyOnce) {
+  // Scheduled traffic evicts an already-admitted blind packet: the eviction
+  // must surface as exactly one drop (not zero — the packet vanished; not
+  // two — it was only one packet) and the survivor set must stay full.
+  SelectiveDropQueue q{2};
+  Packet blind = data_pkt(0);
+  blind.unscheduled = true;
+  q.enqueue(std::move(blind));
+  q.enqueue(data_pkt(1));
+  q.enqueue(data_pkt(2));  // evicts seq 0
+  EXPECT_EQ(q.stats().dropped, 1u);
+  EXPECT_EQ(q.data_pkts(), 2u);
+  expect_stats_identity(q);
+  // Drain: the blind packet is gone; both scheduled packets survive.
+  auto a = q.dequeue();
+  auto b = q.dequeue();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->seq, 1u);
+  EXPECT_EQ(b->seq, 2u);
+  EXPECT_TRUE(q.empty());
+  expect_stats_identity(q);
+}

@@ -2,6 +2,7 @@
 // drops, without livelock and without runaway retransmission.
 #include <gtest/gtest.h>
 
+#include "audit/hooks.hpp"
 #include "test_rig.hpp"
 
 using namespace amrt;
@@ -121,6 +122,10 @@ TEST(RecoveryStale, LatePacketsOfFinishedFlowsIgnored) {
   stale.src = rig.sender(0).id();
   stale.dst = rig.receiver(0).id();
   stale.flow_bytes = 50'000;
+  // The forged copy bypasses Host::send (the audited injection point), so
+  // book it into the conservation ledger by hand or its delivery would be
+  // flagged as a duplicate. A no-op without AMRT_AUDIT.
+  rig.sim().auditor().on_inject(audit::info_of(stale));
   rig.receiver(0).handle_packet(std::move(stale), 0);
   rig.sched().run_until(rig.sched().now() + 5_ms);
   EXPECT_EQ(rig.recorder().completed().size(), done);

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Rebuilds the golden FCT fixture from the release build. Run from the repo
+# root after a change that is *supposed* to alter observable results:
+#
+#   cmake --build build --target regen_golden_fct && tools/regen_golden.sh
+set -eu
+cd "$(dirname "$0")/.."
+build/tools/regen_golden_fct > tests/golden_fct.inc.new
+mv tests/golden_fct.inc.new tests/golden_fct.inc
+echo "wrote tests/golden_fct.inc"

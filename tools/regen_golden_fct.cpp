@@ -1,0 +1,62 @@
+// Regenerates tests/golden_fct.inc: the pinned golden-seed scenario run
+// under every transport, emitted as one C array per protocol.
+//
+//   build/tools/regen_golden_fct > tests/golden_fct.inc     (or tools/regen_golden.sh)
+//
+// The fixture is a behaviour lock, not a correctness statement: regenerate
+// it only for a change that is *supposed* to alter observable results, and
+// say so in the commit message (see the GoldenSeedFctFixtureUnchanged test).
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+
+using namespace amrt;
+
+namespace {
+
+// Must match tests/test_determinism.cpp exactly.
+harness::ExperimentConfig golden_cfg(transport::Protocol proto) {
+  harness::ExperimentConfig cfg;
+  cfg.proto = proto;
+  cfg.workload = workload::Kind::kWebSearch;
+  cfg.load = 0.6;
+  cfg.n_flows = 80;
+  cfg.leaves = 2;
+  cfg.spines = 2;
+  cfg.hosts_per_leaf = 4;
+  cfg.seed = 42;
+  return cfg;
+}
+
+void emit(const char* suffix, transport::Protocol proto) {
+  const auto r = harness::run_leaf_spine(golden_cfg(proto));
+  std::printf("inline constexpr GoldenRecord kGoldenFct%s[] = {\n", suffix);
+  for (const auto& rec : r.flow_records) {
+    std::printf("    {%lluULL, %lluULL, %lldLL, %lldLL},\n",
+                static_cast<unsigned long long>(rec.flow),
+                static_cast<unsigned long long>(rec.bytes),
+                static_cast<long long>(rec.start.ns()), static_cast<long long>(rec.end.ns()));
+  }
+  std::printf("};\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "// Golden-seed FCT fixtures: WebSearch, load 0.6, 80 flows, 2x2x4\n"
+      "// leaf-spine, seed 42, one array per transport. The AMRT array predates\n"
+      "// the data-plane fast-path refactor (commit 6c1b1be) and has been\n"
+      "// bit-identical since; the other transports were pinned when the audit\n"
+      "// subsystem landed. Regenerate with tools/regen_golden.sh only for a\n"
+      "// change that is *supposed* to alter results, and say so in the commit.\n"
+      "// Fields: flow id, bytes, start ns, end ns.\n");
+  emit("Amrt", transport::Protocol::kAmrt);
+  std::printf("\n");
+  emit("Phost", transport::Protocol::kPhost);
+  std::printf("\n");
+  emit("Homa", transport::Protocol::kHoma);
+  std::printf("\n");
+  emit("Ndp", transport::Protocol::kNdp);
+  return 0;
+}
