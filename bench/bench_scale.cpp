@@ -1,0 +1,220 @@
+// Macro-benchmark for the pooled network core: a three-tier fat-tree fabric
+// (k=16 -> 1024 hosts, 320 switches by default) running the Section 8
+// websearch workload under each receiver-driven transport. Reports raw event
+// throughput (events/sec), packet throughput (delivered data packets/sec)
+// and peak RSS, as google-benchmark-shaped JSON that
+// tools/bench_compare.py --scale can diff across builds.
+//
+//   bench_scale [--k N] [--transport amrt|phost|homa|ndp|all]
+//               [--flows N] [--load F] [--json PATH] [--check]
+//
+// --check shrinks the fabric (k=4, a few hundred flows) and exits non-zero
+// unless every flow completes under every requested transport — the
+// scale_smoke ctest runs exactly that in a few seconds.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "stats/fct.hpp"
+#include "transport/endpoint.hpp"
+#include "workload/generator.hpp"
+#include "workload/workloads.hpp"
+
+using namespace amrt;
+
+namespace {
+
+struct Options {
+  int k = 16;
+  std::vector<transport::Protocol> protocols{
+      transport::Protocol::kAmrt, transport::Protocol::kPhost, transport::Protocol::kHoma,
+      transport::Protocol::kNdp};
+  std::size_t flows = 2'000;
+  double load = 0.5;
+  std::uint64_t seed = 1;
+  std::string json_path;  // empty: stdout only when --json given
+  bool check = false;
+};
+
+struct RunResult {
+  std::string name;
+  double real_ms = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t delivered_pkts = 0;
+  std::size_t flows = 0;
+  std::size_t completed = 0;
+  long peak_rss_kb = 0;
+};
+
+long peak_rss_kb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+RunResult run_one(const Options& opt, transport::Protocol proto) {
+  sim::Simulation simu{opt.seed};
+  sim::Scheduler& sched = simu.scheduler();
+  net::Network network{simu};
+
+  net::FatTreeConfig topo_cfg;
+  topo_cfg.k = opt.k;
+  topo_cfg.queue_factory = core::make_queue_factory(proto);
+  topo_cfg.marker_factory = core::make_marker_factory(proto);
+  const net::FatTree topo = net::build_fat_tree(network, topo_cfg);
+
+  transport::TransportConfig tcfg;
+  tcfg.host_rate = topo_cfg.link_rate;
+  tcfg.base_rtt = topo.base_rtt;
+  stats::FctRecorder recorder{topo_cfg.link_rate, topo.base_rtt};
+
+  std::vector<transport::TransportEndpoint*> eps;
+  eps.reserve(topo.hosts.size());
+  for (net::Host* host : topo.hosts) {
+    auto ep = core::make_endpoint(proto, simu, *host, tcfg, &recorder);
+    eps.push_back(ep.get());
+    host->attach(std::move(ep));
+  }
+
+  workload::FlowGenerator gen{workload::cdf(workload::Kind::kWebSearch), simu.rng()};
+  workload::TrafficConfig traffic;
+  traffic.load = opt.load;
+  traffic.n_flows = opt.flows;
+  traffic.n_hosts = topo.hosts.size();
+  traffic.host_rate = topo_cfg.link_rate;
+  const auto flows = gen.generate(traffic);
+
+  for (const auto& f : flows) {
+    transport::FlowSpec spec{f.id, topo.hosts[f.src_host]->id(), topo.hosts[f.dst_host]->id(),
+                             f.bytes, f.start};
+    transport::TransportEndpoint* src_ep = eps[f.src_host];
+    sched.at(f.start, [src_ep, spec] { src_ep->start_flow(spec); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sched.run();  // natural drain: no samplers keep the loop alive
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.name = std::string{"BM_Scale/fattree_k"} + std::to_string(opt.k) + "/" +
+           transport::to_string(proto);
+  r.real_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.events = sched.events_processed();
+  r.delivered_pkts = recorder.bytes_delivered() / net::kMssBytes;
+  r.flows = flows.size();
+  r.completed = recorder.completed().size();
+  r.peak_rss_kb = peak_rss_kb();
+  return r;
+}
+
+void print_json(std::FILE* out, const Options& opt, const std::vector<RunResult>& results) {
+  std::fprintf(out, "{\n  \"context\": {\"k\": %d, \"flows\": %zu, \"load\": %.3f},\n", opt.k,
+               opt.flows, opt.load);
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    const double secs = r.real_ms / 1e3;
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"run_type\": \"iteration\", \"iterations\": 1,\n"
+                 "     \"real_time\": %.3f, \"cpu_time\": %.3f, \"time_unit\": \"ms\",\n"
+                 "     \"events\": %llu, \"events_per_second\": %.0f,\n"
+                 "     \"delivered_pkts\": %llu, \"delivered_pkts_per_second\": %.0f,\n"
+                 "     \"flows\": %zu, \"completed\": %zu, \"peak_rss_mb\": %.1f}%s\n",
+                 r.name.c_str(), r.real_ms, r.real_ms,
+                 static_cast<unsigned long long>(r.events),
+                 secs > 0 ? static_cast<double>(r.events) / secs : 0.0,
+                 static_cast<unsigned long long>(r.delivered_pkts),
+                 secs > 0 ? static_cast<double>(r.delivered_pkts) / secs : 0.0, r.flows,
+                 r.completed, static_cast<double>(r.peak_rss_kb) / 1024.0,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--k N] [--transport amrt|phost|homa|ndp|all] [--flows N]\n"
+               "          [--load F] [--seed N] [--json PATH] [--check]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--k") {
+      opt.k = std::atoi(next());
+    } else if (arg == "--transport") {
+      const std::string v = next();
+      if (v != "all") opt.protocols = {transport::protocol_from_string(v)};
+    } else if (arg == "--flows") {
+      opt.flows = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--load") {
+      opt.load = std::atof(next());
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opt.check) {
+    opt.k = 4;
+    opt.flows = 400;
+  }
+
+  std::vector<RunResult> results;
+  bool ok = true;
+  for (const auto proto : opt.protocols) {
+    const RunResult r = run_one(opt, proto);
+    std::fprintf(stderr,
+                 "%-28s %9.1f ms  %12llu events (%.2fM ev/s)  %9llu pkts  "
+                 "%zu/%zu flows  rss %.1f MB\n",
+                 r.name.c_str(), r.real_ms, static_cast<unsigned long long>(r.events),
+                 r.real_ms > 0 ? static_cast<double>(r.events) / r.real_ms / 1e3 : 0.0,
+                 static_cast<unsigned long long>(r.delivered_pkts), r.completed, r.flows,
+                 static_cast<double>(r.peak_rss_kb) / 1024.0);
+    if (r.completed != r.flows) {
+      std::fprintf(stderr, "FAIL: %s completed only %zu of %zu flows\n", r.name.c_str(),
+                   r.completed, r.flows);
+      ok = false;
+    }
+    results.push_back(r);
+  }
+
+  if (!opt.json_path.empty()) {
+    if (opt.json_path == "-") {
+      print_json(stdout, opt, results);
+    } else {
+      std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::perror("bench_scale: fopen");
+        return 1;
+      }
+      print_json(f, opt, results);
+      std::fclose(f);
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -151,13 +151,15 @@ void BM_ReceiverArrival(benchmark::State& state) {
 
     auto qf = core::make_queue_factory(transport::Protocol::kAmrt);
     auto mf = core::make_marker_factory(transport::Protocol::kAmrt);
-    auto& sw = network.add_switch("S0");
-    auto& src = network.add_host("src", rate, delay, std::make_unique<net::DropTailQueue>(1024));
-    auto& dst = network.add_host("dst", rate, delay, std::make_unique<net::DropTailQueue>(1024));
-    const int src_down = network.attach_host(src, sw, qf(false), mf ? mf() : nullptr);
-    const int dst_down = network.attach_host(dst, sw, qf(false), mf ? mf() : nullptr);
-    sw.routes().add_route(src.id(), src_down);
-    sw.routes().add_route(dst.id(), dst_down);
+    const net::SwitchId sw = network.add_switch();
+    const net::HostId src_id = network.add_host(rate, delay, std::make_unique<net::DropTailQueue>(1024));
+    const net::HostId dst_id = network.add_host(rate, delay, std::make_unique<net::DropTailQueue>(1024));
+    const net::PortId src_down = network.attach_host(src_id, sw, qf(false), mf ? mf() : nullptr);
+    const net::PortId dst_down = network.attach_host(dst_id, sw, qf(false), mf ? mf() : nullptr);
+    network.switch_at(sw).routes().add_route(network.id_of(src_id), src_down);
+    network.switch_at(sw).routes().add_route(network.id_of(dst_id), dst_down);
+    net::Host& src = network.host(src_id);
+    net::Host& dst = network.host(dst_id);
 
     transport::TransportConfig tcfg;
     tcfg.host_rate = rate;

@@ -182,26 +182,26 @@ class Auditor {
   // Called by EgressQueue after a packet is admitted into a band (control,
   // data, or a trimmed header into control) with the queue's own view of its
   // depth and stats; the auditor cross-checks its shadow ledger.
-  void on_queue_admit(const void* q, std::uint32_t wire_bytes, std::size_t depth_pkts,
+  void on_queue_admit(std::uint32_t q, std::uint32_t wire_bytes, std::size_t depth_pkts,
                       std::uint64_t enq, std::uint64_t deq, std::uint64_t dropped) {
-    QueueShadow& s = queues_[q];
+    QueueShadow& s = shadow(q);
     ++s.pkts;
     s.bytes += wire_bytes;
     queue_check(q, s, depth_pkts, enq, deq, dropped, "admit");
   }
 
-  void on_queue_dequeue(const void* q, std::uint32_t wire_bytes, std::size_t depth_pkts,
+  void on_queue_dequeue(std::uint32_t q, std::uint32_t wire_bytes, std::size_t depth_pkts,
                         std::uint64_t enq, std::uint64_t deq, std::uint64_t dropped) {
-    QueueShadow& s = queues_[q];
+    QueueShadow& s = shadow(q);
     --s.pkts;
     s.bytes -= wire_bytes;
     if (s.pkts < 0 || s.bytes < 0) {
-      fail("queue-accounting", "queue %p dequeued more than it admitted (pkts %lld, bytes %lld)",
+      fail("queue-accounting", "queue %u dequeued more than it admitted (pkts %lld, bytes %lld)",
            q, static_cast<long long>(s.pkts), static_cast<long long>(s.bytes));
       return;
     }
     if (depth_pkts == 0 && s.bytes != 0) {
-      fail("queue-accounting", "queue %p empty but shadow holds %lld bytes (byte drift)", q,
+      fail("queue-accounting", "queue %u empty but shadow holds %lld bytes (byte drift)", q,
            static_cast<long long>(s.bytes));
       return;
     }
@@ -210,12 +210,12 @@ class Auditor {
 
   // An admitted packet leaves the band without being transmitted (Aeolus
   // eviction): shadow shrinks, and the caller reports the drop separately.
-  void on_queue_unadmit(const void* q, std::uint32_t wire_bytes) {
-    QueueShadow& s = queues_[q];
+  void on_queue_unadmit(std::uint32_t q, std::uint32_t wire_bytes) {
+    QueueShadow& s = shadow(q);
     --s.pkts;
     s.bytes -= wire_bytes;
     if (s.pkts < 0 || s.bytes < 0) {
-      fail("queue-accounting", "queue %p evicted a packet it never admitted", q);
+      fail("queue-accounting", "queue %u evicted a packet it never admitted", q);
     }
   }
 
@@ -320,16 +320,25 @@ class Auditor {
            (static_cast<std::uint64_t>(p.type) & 3u);
   }
 
-  void queue_check(const void* q, const QueueShadow& s, std::size_t depth_pkts, std::uint64_t enq,
-                   std::uint64_t deq, std::uint64_t dropped, const char* op) {
+  // Dense shadow lookup: queues are identified by their pool slot (ports_
+  // index inside Network), so the hot hooks index a vector instead of
+  // hashing a pointer. Standalone queues in unit tests bind small ad-hoc
+  // slots; resize-on-demand keeps those working.
+  QueueShadow& shadow(std::uint32_t q) {
+    if (q >= queues_.size()) queues_.resize(static_cast<std::size_t>(q) + 1);
+    return queues_[q];
+  }
+
+  void queue_check(std::uint32_t q, const QueueShadow& s, std::size_t depth_pkts,
+                   std::uint64_t enq, std::uint64_t deq, std::uint64_t dropped, const char* op) {
     if (static_cast<std::int64_t>(depth_pkts) != s.pkts) {
-      fail("queue-accounting", "queue %p depth %zu != shadow %lld after %s", q, depth_pkts,
+      fail("queue-accounting", "queue %u depth %zu != shadow %lld after %s", q, depth_pkts,
            static_cast<long long>(s.pkts), op);
       return;
     }
     if (enq != deq + dropped + depth_pkts) {
       fail("queue-accounting",
-           "queue %p stats identity broken after %s: enqueued %llu != dequeued %llu + dropped %llu + depth %zu",
+           "queue %u stats identity broken after %s: enqueued %llu != dequeued %llu + dropped %llu + depth %zu",
            q, op, static_cast<unsigned long long>(enq), static_cast<unsigned long long>(deq),
            static_cast<unsigned long long>(dropped), depth_pkts);
     }
@@ -360,7 +369,7 @@ class Auditor {
   }
 
   std::unordered_map<std::uint64_t, std::int64_t> ledger_;
-  std::unordered_map<const void*, QueueShadow> queues_;
+  std::vector<QueueShadow> queues_;  // indexed by queue pool slot
   std::unordered_set<std::uint64_t> finished_;
   std::uint64_t injected_ = 0, delivered_ = 0, dropped_ = 0, trimmed_ = 0;
   std::uint64_t injected_payload_ = 0, delivered_payload_ = 0, dropped_payload_ = 0,
@@ -380,11 +389,11 @@ class Auditor {
   void on_drop(const PacketInfo&, DropReason) {}
   void on_trim(const PacketInfo&, std::uint32_t) {}
   void check_drained() {}
-  void on_queue_admit(const void*, std::uint32_t, std::size_t, std::uint64_t, std::uint64_t,
+  void on_queue_admit(std::uint32_t, std::uint32_t, std::size_t, std::uint64_t, std::uint64_t,
                       std::uint64_t) {}
-  void on_queue_dequeue(const void*, std::uint32_t, std::size_t, std::uint64_t, std::uint64_t,
+  void on_queue_dequeue(std::uint32_t, std::uint32_t, std::size_t, std::uint64_t, std::uint64_t,
                         std::uint64_t) {}
-  void on_queue_unadmit(const void*, std::uint32_t) {}
+  void on_queue_unadmit(std::uint32_t, std::uint32_t) {}
   void on_event_fire(std::int64_t, std::int64_t) {}
   void on_grant_sent(std::uint64_t, bool, std::uint32_t, std::uint64_t, std::uint32_t,
                      std::uint64_t, std::uint32_t) {}

@@ -106,15 +106,15 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   for (int l = 0; l < cfg.leaves; ++l) {
     for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
       downlinks.push_back(std::make_unique<net::PortSampler>(
-          simu, topo.leaves[l]->port(topo.leaf_down[l][h]), cfg.sample_interval));
+          simu, network.port_at(topo.leaf_down[l][h]), cfg.sample_interval));
       downlinks.back()->start();
     }
     for (int s = 0; s < cfg.spines; ++s) {
       fabric.push_back(std::make_unique<net::PortSampler>(
-          simu, topo.leaves[l]->port(topo.leaf_up[l][s]), cfg.sample_interval));
+          simu, network.port_at(topo.leaf_up[l][s]), cfg.sample_interval));
       fabric.back()->start();
       fabric.push_back(std::make_unique<net::PortSampler>(
-          simu, topo.spines[s]->port(topo.spine_down[s][l]), cfg.sample_interval));
+          simu, network.port_at(topo.spine_down[s][l]), cfg.sample_interval));
       fabric.back()->start();
     }
   }
@@ -160,10 +160,10 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   }
   out.mean_utilization = weight_sum == 0.0 ? 0.0 : util_sum / weight_sum;
 
-  for (auto& sw : network.switches()) {
-    for (int p = 0; p < sw->port_count(); ++p) {
-      out.drops += sw->port(p).queue().stats().dropped;
-      out.trims += sw->port(p).queue().stats().trimmed;
+  for (const auto& sw : network.switches()) {
+    for (int p = 0; p < sw.port_count(); ++p) {
+      out.drops += sw.port(p).queue().stats().dropped;
+      out.trims += sw.port(p).queue().stats().trimmed;
     }
   }
 

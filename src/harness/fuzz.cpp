@@ -50,6 +50,7 @@ struct CaseParams {
   int leaves = 2, spines = 1, hosts_per_leaf = 2;  // leaf-spine
   int left_hosts = 2, right_hosts = 2;             // dumbbell
   int chain_switches = 2, hosts_per_switch = 1;    // chain
+  int fat_k = 4;                                   // fat-tree
   sim::Bandwidth link_rate = sim::Bandwidth::gbps(10);
   sim::Duration link_delay = sim::Duration::microseconds(10);
   core::QueueConfig queues;
@@ -84,6 +85,8 @@ CaseParams draw_params(const CaseConfig& c, sim::Rng& rng) {
   p.workload = workload::kAllKinds[rng.index(workload::kAllKinds.size())];
   p.load = rng.uniform(0.3, 0.8);
   p.n_flows = static_cast<std::size_t>(rng.uniform_int(8, 40));
+  // Drawn last so the older topologies' parameter streams are unchanged.
+  p.fat_k = rng.bernoulli(0.5) ? 6 : 4;
   return p;
 }
 
@@ -119,30 +122,32 @@ Scenario build_dumbbell_case(net::Network& network, const CaseConfig& c, const C
   const auto rate = p.link_rate;
   const auto delay = p.link_delay;
 
-  auto& left = network.add_switch("L");
-  auto& right = network.add_switch("R");
-  network.add_switch_port(left, right, rate, delay, qf(false), marker());
-  const int l_to_r = left.port_count() - 1;
-  network.add_switch_port(right, left, rate, delay, qf(false), marker());
-  const int r_to_l = right.port_count() - 1;
+  const net::SwitchId left = network.add_switch();
+  const net::SwitchId right = network.add_switch();
+  const net::PortId l_to_r =
+      network.add_switch_port(left, network.id_of(right), rate, delay, qf(false), marker());
+  const net::PortId r_to_l =
+      network.add_switch_port(right, network.id_of(left), rate, delay, qf(false), marker());
 
-  Scenario s;
-  auto attach = [&](net::Switch& sw, net::Switch& far, int far_port, int count, const char* tag) {
+  std::vector<net::HostId> hosts;
+  auto attach = [&](net::SwitchId sw, net::SwitchId far, net::PortId far_port, int count) {
     for (int i = 0; i < count; ++i) {
-      auto& host = network.add_host(std::string{tag} + std::to_string(i), rate, delay,
-                                    std::make_unique<net::DropTailQueue>(p.queues.host_nic_pkts));
-      const int down = network.attach_host(host, sw, qf(false), marker());
-      sw.routes().add_route(host.id(), down);
-      far.routes().add_route(host.id(), far_port);
-      s.hosts.push_back(&host);
+      const net::HostId host = network.add_host(
+          rate, delay, std::make_unique<net::DropTailQueue>(p.queues.host_nic_pkts));
+      const net::PortId down = network.attach_host(host, sw, qf(false), marker());
+      network.switch_at(sw).routes().add_route(network.id_of(host), down);
+      network.switch_at(far).routes().add_route(network.id_of(host), far_port);
+      hosts.push_back(host);
     }
   };
-  attach(left, right, r_to_l, p.left_hosts, "l");
-  attach(right, left, l_to_r, p.right_hosts, "r");
-  for (const net::Host* h : s.hosts) {
-    left.routes().require_route(h->id());
-    right.routes().require_route(h->id());
+  attach(left, right, r_to_l, p.left_hosts);
+  attach(right, left, l_to_r, p.right_hosts);
+  for (const net::HostId h : hosts) {
+    network.switch_at(left).routes().require_route(network.id_of(h));
+    network.switch_at(right).routes().require_route(network.id_of(h));
   }
+  Scenario s;
+  for (const net::HostId h : hosts) s.hosts.push_back(&network.host(h));
   // host -> ToR -> ToR -> host: three store-and-forward links.
   s.base_rtt = net::path_base_rtt(3, rate, delay);
   return s;
@@ -156,42 +161,59 @@ Scenario build_chain_case(net::Network& network, const CaseConfig& c, const Case
   const auto delay = p.link_delay;
   const int k = p.chain_switches;
 
-  std::vector<net::Switch*> switches;
-  for (int i = 0; i < k; ++i) switches.push_back(&network.add_switch("C" + std::to_string(i)));
+  std::vector<net::SwitchId> switches;
+  for (int i = 0; i < k; ++i) switches.push_back(network.add_switch());
   // right_port[i]: switch i -> i+1; left_port[i]: switch i -> i-1.
-  std::vector<int> right_port(k, -1);
-  std::vector<int> left_port(k, -1);
+  std::vector<net::PortId> right_port(static_cast<std::size_t>(k), -1);
+  std::vector<net::PortId> left_port(static_cast<std::size_t>(k), -1);
   for (int i = 0; i + 1 < k; ++i) {
-    network.add_switch_port(*switches[i], *switches[i + 1], rate, delay, qf(false), marker());
-    right_port[i] = switches[i]->port_count() - 1;
-    network.add_switch_port(*switches[i + 1], *switches[i], rate, delay, qf(false), marker());
-    left_port[i + 1] = switches[i + 1]->port_count() - 1;
+    right_port[i] = network.add_switch_port(switches[i], network.id_of(switches[i + 1]), rate,
+                                            delay, qf(false), marker());
+    left_port[i + 1] = network.add_switch_port(switches[i + 1], network.id_of(switches[i]), rate,
+                                               delay, qf(false), marker());
   }
 
-  Scenario s;
+  std::vector<net::HostId> hosts;
   std::vector<int> host_at;  // host index -> switch index
   for (int i = 0; i < k; ++i) {
     for (int h = 0; h < p.hosts_per_switch; ++h) {
-      auto& host =
-          network.add_host("h" + std::to_string(i) + "_" + std::to_string(h), rate, delay,
-                           std::make_unique<net::DropTailQueue>(p.queues.host_nic_pkts));
-      const int down = network.attach_host(host, *switches[i], qf(false), marker());
-      switches[i]->routes().add_route(host.id(), down);
-      s.hosts.push_back(&host);
+      const net::HostId host = network.add_host(
+          rate, delay, std::make_unique<net::DropTailQueue>(p.queues.host_nic_pkts));
+      const net::PortId down = network.attach_host(host, switches[i], qf(false), marker());
+      network.switch_at(switches[i]).routes().add_route(network.id_of(host), down);
+      hosts.push_back(host);
       host_at.push_back(i);
     }
   }
   // Linear routing: every switch reaches every host by walking the chain.
-  for (std::size_t h = 0; h < s.hosts.size(); ++h) {
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
     const int at = host_at[h];
+    const net::NodeId dst = network.id_of(hosts[h]);
     for (int i = 0; i < k; ++i) {
       if (i == at) continue;
-      switches[i]->routes().add_route(s.hosts[h]->id(), i < at ? right_port[i] : left_port[i]);
+      network.switch_at(switches[i]).routes().add_route(dst, i < at ? right_port[i] : left_port[i]);
     }
-    for (int i = 0; i < k; ++i) switches[i]->routes().require_route(s.hosts[h]->id());
+    for (int i = 0; i < k; ++i) network.switch_at(switches[i]).routes().require_route(dst);
   }
+  Scenario s;
+  for (const net::HostId h : hosts) s.hosts.push_back(&network.host(h));
   // Worst case: end to end across all k switches, k+1 links.
   s.base_rtt = net::path_base_rtt(k + 1, rate, delay);
+  return s;
+}
+
+Scenario build_fat_tree_case(net::Network& network, const CaseConfig& c, const CaseParams& p) {
+  net::FatTreeConfig topo_cfg;
+  topo_cfg.k = p.fat_k;
+  topo_cfg.link_rate = p.link_rate;
+  topo_cfg.link_delay = p.link_delay;
+  topo_cfg.host_nic_queue_pkts = p.queues.host_nic_pkts;
+  topo_cfg.queue_factory = core::make_queue_factory(c.proto, p.queues);
+  topo_cfg.marker_factory = core::make_marker_factory(c.proto);
+  net::FatTree topo = net::build_fat_tree(network, topo_cfg);
+  Scenario s;
+  s.hosts = topo.hosts;
+  s.base_rtt = topo.base_rtt;
   return s;
 }
 
@@ -203,6 +225,8 @@ Scenario build_case(net::Network& network, const CaseConfig& c, const CaseParams
       return build_dumbbell_case(network, c, p);
     case Topo::kChain:
       return build_chain_case(network, c, p);
+    case Topo::kFatTree:
+      return build_fat_tree_case(network, c, p);
   }
   throw std::logic_error("fuzz: unknown topology");
 }
@@ -224,6 +248,8 @@ const char* to_string(Topo t) {
       return "dumbbell";
     case Topo::kChain:
       return "chain";
+    case Topo::kFatTree:
+      return "fattree";
   }
   return "?";
 }
@@ -232,6 +258,7 @@ Topo topo_from_string(const std::string& s) {
   if (s == "leafspine" || s == "leaf-spine" || s == "ls") return Topo::kLeafSpine;
   if (s == "dumbbell" || s == "db") return Topo::kDumbbell;
   if (s == "chain") return Topo::kChain;
+  if (s == "fattree" || s == "fat-tree" || s == "ft") return Topo::kFatTree;
   throw std::invalid_argument("unknown topology: " + s);
 }
 
@@ -328,12 +355,14 @@ CaseResult run_case(const CaseConfig& c) {
     r.drops += st.dropped;
     r.trims += st.trimmed;
   };
-  for (auto& sw : network.switches()) {
-    for (int i = 0; i < sw->port_count(); ++i) {
-      check_queue(sw->port(i).queue(), sw->name() + " port " + std::to_string(i));
+  for (const auto& sw : network.switches()) {
+    for (int i = 0; i < sw.port_count(); ++i) {
+      check_queue(sw.port(i).queue(), network.label(sw.id()) + " port " + std::to_string(i));
     }
   }
-  for (net::Host* host : scen.hosts) check_queue(host->nic().queue(), host->name() + " nic");
+  for (net::Host* host : scen.hosts) {
+    check_queue(host->nic().queue(), network.label(host->id()) + " nic");
+  }
 
   // Oracle 4 (audit builds; all calls are no-op stubs otherwise): the
   // conservation ledger must be drained and nothing may have tripped.

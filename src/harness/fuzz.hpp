@@ -33,12 +33,14 @@
 
 namespace amrt::harness::fuzz {
 
-enum class Topo : std::uint8_t { kLeafSpine, kDumbbell, kChain };
+enum class Topo : std::uint8_t { kLeafSpine, kDumbbell, kChain, kFatTree };
 
-inline constexpr std::array<Topo, 3> kAllTopos = {Topo::kLeafSpine, Topo::kDumbbell, Topo::kChain};
+inline constexpr std::array<Topo, 4> kAllTopos = {Topo::kLeafSpine, Topo::kDumbbell, Topo::kChain,
+                                                  Topo::kFatTree};
 
 [[nodiscard]] const char* to_string(Topo t);
-// Accepts "leafspine" / "leaf-spine" / "dumbbell" / "chain"; throws on junk.
+// Accepts "leafspine" / "leaf-spine" / "dumbbell" / "chain" / "fattree" /
+// "fat-tree"; throws on junk.
 [[nodiscard]] Topo topo_from_string(const std::string& s);
 
 struct CaseConfig {

@@ -31,16 +31,17 @@ struct Rig {
     });
   }
 
-  net::Host& add_host(const std::string& name, sim::Bandwidth rate, sim::Duration delay,
-                      std::size_t nic_pkts) {
-    return network.add_host(name, rate, delay, std::make_unique<net::DropTailQueue>(nic_pkts));
+  net::HostId add_host(sim::Bandwidth rate, sim::Duration delay, std::size_t nic_pkts) {
+    return network.add_host(rate, delay, std::make_unique<net::DropTailQueue>(nic_pkts));
   }
 
+  // Only call once the topology is complete: endpoints hold Host references
+  // into the pool, which must not grow afterwards.
   void attach_endpoints(transport::Protocol proto, const transport::TransportConfig& tcfg) {
     for (auto& host : network.hosts()) {
-      auto ep = core::make_endpoint(proto, sim, *host, tcfg, &recorder);
+      auto ep = core::make_endpoint(proto, sim, host, tcfg, &recorder);
       endpoints.push_back(ep.get());
-      host->attach(std::move(ep));
+      host.attach(std::move(ep));
     }
   }
 
@@ -93,14 +94,19 @@ TimelineResult run_chain(const ChainConfig& cfg) {
   auto mf = core::make_marker_factory(cfg.proto);
   auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
 
-  auto& s0 = rig.network.add_switch("S0");
-  auto& s1 = rig.network.add_switch("S1");
-  auto& s2 = rig.network.add_switch("S2");
-  auto& b1 = rig.network.add_switch_port(s0, s1, rate, delay, qf(false), marker());  // bottleneck 1
-  auto& b2 = rig.network.add_switch_port(s1, s2, rate, delay, qf(false), marker());  // bottleneck 2
-  rig.network.add_switch_port(s1, s0, rate, delay, qf(false), marker());             // reverse path
-  rig.network.add_switch_port(s2, s1, rate, delay, qf(false), marker());
-  const int s0_to_s1 = 0, s1_to_s2 = 0, s1_to_s0 = 1, s2_to_s1 = 0;
+  net::Network& net = rig.network;
+  const net::SwitchId s0 = net.add_switch();
+  const net::SwitchId s1 = net.add_switch();
+  const net::SwitchId s2 = net.add_switch();
+  const net::PortId b1 =
+      net.add_switch_port(s0, net.id_of(s1), rate, delay, qf(false), marker());  // bottleneck 1
+  const net::PortId b2 =
+      net.add_switch_port(s1, net.id_of(s2), rate, delay, qf(false), marker());  // bottleneck 2
+  const net::PortId s1_to_s0 =
+      net.add_switch_port(s1, net.id_of(s0), rate, delay, qf(false), marker());  // reverse path
+  const net::PortId s2_to_s1 =
+      net.add_switch_port(s2, net.id_of(s1), rate, delay, qf(false), marker());
+  const net::PortId s0_to_s1 = b1, s1_to_s2 = b2;
 
   // One src/dst host pair per flow, attached per its path. Remember which
   // switch each host hangs off so the chain routes can be derived.
@@ -113,14 +119,14 @@ TimelineResult run_chain(const ChainConfig& cfg) {
     const auto& f = cfg.flows[i];
     const int src_at = f.path == ChainPath::kSecond ? 1 : 0;
     const int dst_at = f.path == ChainPath::kFirst ? 1 : 2;
-    net::Switch& src_sw = src_at == 1 ? s1 : s0;
-    net::Switch& dst_sw = dst_at == 1 ? s1 : s2;
-    auto& src = rig.add_host("src" + std::to_string(i), rate, delay, cfg.queues.host_nic_pkts);
-    auto& dst = rig.add_host("dst" + std::to_string(i), rate, delay, cfg.queues.host_nic_pkts);
-    const int src_down = rig.network.attach_host(src, src_sw, qf(false), marker());
-    const int dst_down = rig.network.attach_host(dst, dst_sw, qf(false), marker());
-    src_sw.routes().add_route(src.id(), src_down);
-    dst_sw.routes().add_route(dst.id(), dst_down);
+    const net::SwitchId src_sw = src_at == 1 ? s1 : s0;
+    const net::SwitchId dst_sw = dst_at == 1 ? s1 : s2;
+    const net::HostId src = rig.add_host(rate, delay, cfg.queues.host_nic_pkts);
+    const net::HostId dst = rig.add_host(rate, delay, cfg.queues.host_nic_pkts);
+    const net::PortId src_down = net.attach_host(src, src_sw, qf(false), marker());
+    const net::PortId dst_down = net.attach_host(dst, dst_sw, qf(false), marker());
+    net.switch_at(src_sw).routes().add_route(net.id_of(src), src_down);
+    net.switch_at(dst_sw).routes().add_route(net.id_of(dst), dst_down);
     pairs.push_back({rig.network.host_count() - 2, rig.network.host_count() - 1});
     attachment.push_back(src_at);
     attachment.push_back(dst_at);
@@ -131,16 +137,16 @@ TimelineResult run_chain(const ChainConfig& cfg) {
     const net::NodeId id = rig.network.host(h).id();
     switch (attachment[h]) {
       case 0:
-        s1.routes().add_route(id, s1_to_s0);
-        s2.routes().add_route(id, s2_to_s1);
+        net.switch_at(s1).routes().add_route(id, s1_to_s0);
+        net.switch_at(s2).routes().add_route(id, s2_to_s1);
         break;
       case 1:
-        s0.routes().add_route(id, s0_to_s1);
-        s2.routes().add_route(id, s2_to_s1);
+        net.switch_at(s0).routes().add_route(id, s0_to_s1);
+        net.switch_at(s2).routes().add_route(id, s2_to_s1);
         break;
       default:
-        s0.routes().add_route(id, s0_to_s1);
-        s1.routes().add_route(id, s1_to_s2);
+        net.switch_at(s0).routes().add_route(id, s0_to_s1);
+        net.switch_at(s1).routes().add_route(id, s1_to_s2);
         break;
     }
   }
@@ -156,8 +162,8 @@ TimelineResult run_chain(const ChainConfig& cfg) {
                       cfg.start_jitter);
   }
 
-  net::PortSampler sampler1{rig.sim, b1, cfg.bin};
-  net::PortSampler sampler2{rig.sim, b2, cfg.bin};
+  net::PortSampler sampler1{rig.sim, net.port_at(b1), cfg.bin};
+  net::PortSampler sampler2{rig.sim, net.port_at(b2), cfg.bin};
   sampler1.start();
   sampler2.start();
 
@@ -191,22 +197,25 @@ TimelineResult run_dynamic(const DynamicConfig& cfg) {
   auto mf = core::make_marker_factory(cfg.proto, cfg.marker_probe_bytes);
   auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
 
-  auto& s0 = rig.network.add_switch("S0");
-  auto& s1 = rig.network.add_switch("S1");
-  auto& bottleneck = rig.network.add_switch_port(s0, s1, rate, delay, qf(false), marker());
-  rig.network.add_switch_port(s1, s0, rate, delay, qf(false), marker());
-  const int s0_to_s1 = 0, s1_to_s0 = 0;
+  net::Network& net = rig.network;
+  const net::SwitchId s0 = net.add_switch();
+  const net::SwitchId s1 = net.add_switch();
+  const net::PortId bottleneck =
+      net.add_switch_port(s0, net.id_of(s1), rate, delay, qf(false), marker());
+  const net::PortId s1_to_s0 =
+      net.add_switch_port(s1, net.id_of(s0), rate, delay, qf(false), marker());
+  const net::PortId s0_to_s1 = bottleneck;
 
   std::vector<std::size_t> srcs, dsts;
   for (std::size_t i = 0; i < cfg.flows.size(); ++i) {
-    auto& src = rig.add_host("src" + std::to_string(i), rate, delay, cfg.queues.host_nic_pkts);
-    auto& dst = rig.add_host("dst" + std::to_string(i), rate, delay, cfg.queues.host_nic_pkts);
-    const int src_down = rig.network.attach_host(src, s0, qf(false), marker());
-    const int dst_down = rig.network.attach_host(dst, s1, qf(false), marker());
-    s0.routes().add_route(src.id(), src_down);
-    s1.routes().add_route(dst.id(), dst_down);
-    s0.routes().add_route(dst.id(), s0_to_s1);
-    s1.routes().add_route(src.id(), s1_to_s0);
+    const net::HostId src = rig.add_host(rate, delay, cfg.queues.host_nic_pkts);
+    const net::HostId dst = rig.add_host(rate, delay, cfg.queues.host_nic_pkts);
+    const net::PortId src_down = net.attach_host(src, s0, qf(false), marker());
+    const net::PortId dst_down = net.attach_host(dst, s1, qf(false), marker());
+    net.switch_at(s0).routes().add_route(net.id_of(src), src_down);
+    net.switch_at(s1).routes().add_route(net.id_of(dst), dst_down);
+    net.switch_at(s0).routes().add_route(net.id_of(dst), s0_to_s1);
+    net.switch_at(s1).routes().add_route(net.id_of(src), s1_to_s0);
     srcs.push_back(rig.network.host_count() - 2);
     dsts.push_back(rig.network.host_count() - 1);
   }
@@ -223,7 +232,7 @@ TimelineResult run_dynamic(const DynamicConfig& cfg) {
                       cfg.start_jitter);
   }
 
-  net::PortSampler sampler{rig.sim, bottleneck, cfg.bin};
+  net::PortSampler sampler{rig.sim, net.port_at(bottleneck), cfg.bin};
   sampler.start();
   rig.sched.run_until(sim::TimePoint::zero() + cfg.duration);
 
@@ -301,9 +310,9 @@ ManyToManyResult run_many_to_many(const ManyToManyConfig& cfg) {
     }
   }
 
-  net::PortSampler down0{simu, topo.leaves[2]->port(topo.leaf_down[2][0]),
+  net::PortSampler down0{simu, network.port_at(topo.leaf_down[2][0]),
                          sim::Duration::microseconds(100)};
-  net::PortSampler down1{simu, topo.leaves[2]->port(topo.leaf_down[2][1]),
+  net::PortSampler down1{simu, network.port_at(topo.leaf_down[2][1]),
                          sim::Duration::microseconds(100)};
   down0.start();
   down1.start();
@@ -340,19 +349,19 @@ IncastResult run_incast(const IncastConfig& cfg) {
   auto mf = core::make_marker_factory(cfg.proto);
   auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
 
-  auto& sw = network.add_switch("tor");
-  auto& recv = network.add_host("recv", rate, delay,
-                                std::make_unique<net::DropTailQueue>(cfg.queues.host_nic_pkts));
-  const int recv_down = network.attach_host(recv, sw, qf(false), marker());
-  sw.routes().add_route(recv.id(), recv_down);
+  const net::SwitchId sw = network.add_switch();
+  const net::HostId recv = network.add_host(
+      rate, delay, std::make_unique<net::DropTailQueue>(cfg.queues.host_nic_pkts));
+  const net::PortId recv_down = network.attach_host(recv, sw, qf(false), marker());
+  network.switch_at(sw).routes().add_route(network.id_of(recv), recv_down);
 
-  std::vector<net::Host*> senders;
+  std::vector<net::HostId> senders;
   for (int i = 0; i < cfg.senders; ++i) {
-    auto& h = network.add_host("send" + std::to_string(i), rate, delay,
-                               std::make_unique<net::DropTailQueue>(cfg.queues.host_nic_pkts));
-    const int down = network.attach_host(h, sw, qf(false), marker());
-    sw.routes().add_route(h.id(), down);
-    senders.push_back(&h);
+    const net::HostId h = network.add_host(
+        rate, delay, std::make_unique<net::DropTailQueue>(cfg.queues.host_nic_pkts));
+    const net::PortId down = network.attach_host(h, sw, qf(false), marker());
+    network.switch_at(sw).routes().add_route(network.id_of(h), down);
+    senders.push_back(h);
   }
 
   transport::TransportConfig tcfg;
@@ -362,19 +371,20 @@ IncastResult run_incast(const IncastConfig& cfg) {
   stats::FctRecorder recorder{rate, base_rtt};
   std::vector<transport::TransportEndpoint*> endpoints;
   for (auto& host : network.hosts()) {
-    auto ep = core::make_endpoint(cfg.proto, simu, *host, tcfg, &recorder);
+    auto ep = core::make_endpoint(cfg.proto, simu, host, tcfg, &recorder);
     endpoints.push_back(ep.get());
-    host->attach(std::move(ep));
+    host.attach(std::move(ep));
   }
 
   for (int i = 0; i < cfg.senders; ++i) {
-    transport::FlowSpec spec{static_cast<net::FlowId>(i + 1), senders[i]->id(), recv.id(),
-                             cfg.bytes_per_sender, sim::TimePoint::zero()};
+    transport::FlowSpec spec{static_cast<net::FlowId>(i + 1),
+                             network.id_of(senders[static_cast<std::size_t>(i)]),
+                             network.id_of(recv), cfg.bytes_per_sender, sim::TimePoint::zero()};
     transport::TransportEndpoint* ep = endpoints[static_cast<std::size_t>(i) + 1];
     sched.at(spec.start, [ep, spec] { ep->start_flow(spec); });
   }
 
-  net::PortSampler down{simu, sw.port(recv_down), sim::Duration::microseconds(10)};
+  net::PortSampler down{simu, network.port_at(recv_down), sim::Duration::microseconds(10)};
   down.start();
 
   const std::size_t expected = static_cast<std::size_t>(cfg.senders);
@@ -392,9 +402,10 @@ IncastResult run_incast(const IncastConfig& cfg) {
   IncastResult out;
   out.fct = recorder.summarize();
   out.max_queue_pkts = down.max_queue_pkts();
-  for (int p = 0; p < sw.port_count(); ++p) {
-    out.drops += sw.port(p).queue().stats().dropped;
-    out.trims += sw.port(p).queue().stats().trimmed;
+  const net::Switch& tor = network.switch_at(sw);
+  for (int p = 0; p < tor.port_count(); ++p) {
+    out.drops += tor.port(p).queue().stats().dropped;
+    out.trims += tor.port(p).queue().stats().trimmed;
   }
   const double total_bytes =
       static_cast<double>(cfg.bytes_per_sender) * static_cast<double>(cfg.senders);

@@ -1,12 +1,12 @@
 #include "net/host.hpp"
 
+#include "net/network.hpp"
 #include "sim/trace.hpp"
 
 namespace amrt::net {
 
-Host::Host(sim::Scheduler& sched, NodeId id, std::string name,
-           EgressPort::Config nic_cfg, std::unique_ptr<EgressQueue> nic_queue)
-    : Node{id, std::move(name)}, nic_{sched, std::move(nic_cfg), std::move(nic_queue)} {}
+Host::Host(sim::Scheduler& sched, Network& net, NodeId id, PortId nic)
+    : Node{id}, sched_{sched}, net_{&net}, nic_{nic} {}
 
 void Host::attach(std::unique_ptr<PacketSink> sink) { sink_ = std::move(sink); }
 
@@ -15,12 +15,13 @@ void Host::handle_packet(Packet&& pkt, int /*ingress_port*/) {
 #ifdef AMRT_AUDIT
   // The audited delivery point: closes this copy's ledger entry and checks
   // the Eq. 3 CE composition for data packets.
-  if (auto* a = nic_.scheduler().auditor()) a->on_deliver(audit::info_of(pkt));
+  if (auto* a = sched_.auditor()) a->on_deliver(audit::info_of(pkt));
 #endif
   if (sink_ != nullptr) {
     sink_->deliver(std::move(pkt));
   } else {
-    AMRT_WARN("host %s dropped packet (no transport attached): %s", name().c_str(), pkt.str().c_str());
+    AMRT_WARN("host %s dropped packet (no transport attached): %s", net_->label(id()).c_str(),
+              pkt.str().c_str());
   }
 }
 

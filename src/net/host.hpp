@@ -1,7 +1,10 @@
 // End host: a single NIC egress port plus a transport attachment point.
 //
 // The host owns its transport endpoint through the PacketSink interface so
-// the network layer never depends on the transport layer's types.
+// the network layer never depends on the transport layer's types. The host
+// itself lives by value in Network's host pool and addresses its NIC as a
+// slot in the network-wide port pool; the hot accessors (send/nic) are
+// defined inline in net/network.hpp once Network is complete.
 #pragma once
 
 #include <memory>
@@ -13,10 +16,11 @@
 
 namespace amrt::net {
 
+class Network;
+
 class Host final : public Node {
  public:
-  Host(sim::Scheduler& sched, NodeId id, std::string name,
-       EgressPort::Config nic_cfg, std::unique_ptr<EgressQueue> nic_queue);
+  Host(sim::Scheduler& sched, Network& net, NodeId id, PortId nic);
 
   // Installs the transport stack; the host takes ownership.
   void attach(std::unique_ptr<PacketSink> sink);
@@ -26,27 +30,23 @@ class Host final : public Node {
   // audited injection point: everything a transport puts on the wire enters
   // the packet-conservation ledger here, and the anti-ECN shadow bit starts
   // as the sender's CE (each hop's marker ANDs its verdict into both).
-  void send(Packet&& pkt) {
-#ifdef AMRT_AUDIT
-    if (auto* a = nic_.scheduler().auditor()) {
-      pkt.audit_ce_expected = pkt.ce;
-      a->on_inject(audit::info_of(pkt));
-    }
-#endif
-    nic_.enqueue(std::move(pkt));
-  }
+  // Defined in net/network.hpp (needs the port pool).
+  inline void send(Packet&& pkt);
 
   void handle_packet(Packet&& pkt, int ingress_port) override;
 
-  [[nodiscard]] EgressPort& nic() { return nic_; }
-  [[nodiscard]] const EgressPort& nic() const { return nic_; }
-  [[nodiscard]] sim::Bandwidth link_rate() const { return nic_.config().rate; }
+  [[nodiscard]] inline EgressPort& nic();
+  [[nodiscard]] inline const EgressPort& nic() const;
+  [[nodiscard]] inline sim::Bandwidth link_rate() const;
+  [[nodiscard]] PortId nic_id() const { return nic_; }
 
   // Bytes received off the wire (any packet type), for throughput meters.
   [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
 
  private:
-  EgressPort nic_;
+  sim::Scheduler& sched_;
+  Network* net_;
+  PortId nic_;
   std::unique_ptr<PacketSink> sink_;
   std::uint64_t bytes_received_ = 0;
 };

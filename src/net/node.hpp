@@ -1,30 +1,50 @@
-// Abstract network element (host or switch) and the sink interface that
-// decouples the network layer from the transport layer above it.
+// Abstract network element (host or switch), the pool handles used to
+// address elements inside a Network, and the sink interface that decouples
+// the network layer from the transport layer above it.
+//
+// Since the pooled-core refactor, nodes carry no names: a NodeId is a dense
+// index into the owning Network's directory, and human-readable labels are
+// derived lazily (Network::label) only when diagnostics need them.
 #pragma once
-
-#include <string>
-#include <utility>
 
 #include "net/packet.hpp"
 
 namespace amrt::net {
 
+// What kind of pool slot a NodeId resolves to.
+enum class NodeKind : std::uint8_t { kHost, kSwitch };
+
+// Typed handles into Network's contiguous pools. They are plain indices:
+// trivially copyable, stable for the lifetime of the Network, and O(1) to
+// dereference (no map lookups). A PortId indexes the network-wide port
+// pool, so routing tables and monitors can address any port directly
+// without going through the owning switch.
+struct HostId {
+  std::uint32_t slot = 0;
+};
+struct SwitchId {
+  std::uint32_t slot = 0;
+};
+using PortId = std::int32_t;
+
 class Node {
  public:
-  Node(NodeId id, std::string name) : id_{id}, name_{std::move(name)} {}
+  explicit Node(NodeId id) : id_{id} {}
   virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
+  // Pool storage moves elements on growth; see Network's invalidation rules.
+  Node(Node&&) = default;
 
-  // A packet arrives from the wire on `ingress_port`.
+  // A packet arrives from the wire on `ingress_port`. Pooled delivery goes
+  // through Network::deliver (devirtualized); this virtual remains for
+  // standalone peers (unit-test sinks) wired with EgressPort::connect.
   virtual void handle_packet(Packet&& pkt, int ingress_port) = 0;
 
   [[nodiscard]] NodeId id() const { return id_; }
-  [[nodiscard]] const std::string& name() const { return name_; }
 
  private:
   NodeId id_;
-  std::string name_;
 };
 
 // What a Host delivers received packets to (implemented by transports).

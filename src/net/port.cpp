@@ -3,19 +3,26 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "net/network.hpp"
+
 namespace amrt::net {
 
-EgressPort::EgressPort(sim::Scheduler& sched, Config cfg, std::unique_ptr<EgressQueue> queue)
-    : sched_{sched}, cfg_{std::move(cfg)}, queue_{std::move(queue)}, jitter_rng_{cfg_.jitter_seed} {
-  if (!queue_) throw std::invalid_argument("EgressPort requires a queue");
+EgressPort::EgressPort(sim::Scheduler& sched, Config cfg, EgressQueue& queue)
+    : sched_{sched}, cfg_{cfg}, queue_{&queue}, jitter_rng_{cfg_.jitter_seed} {
   if (cfg_.rate.bits_per_second() <= 0) throw std::invalid_argument("EgressPort requires a positive rate");
-  // In audit builds the queue reports occupancy/byte accounting to the
-  // run's auditor; with a bare Scheduler (unit tests) there is none.
-  queue_->audit_bind(sched_.auditor());
 }
 
 void EgressPort::connect(Node& peer, int peer_ingress_port) {
-  peer_ = &peer;
+  net_ = nullptr;
+  peer_node_ = &peer;
+  peer_id_ = peer.id();
+  peer_port_ = peer_ingress_port;
+}
+
+void EgressPort::connect(Network& net, NodeId peer, int peer_ingress_port) {
+  net_ = &net;
+  peer_node_ = nullptr;
+  peer_id_ = peer;
   peer_port_ = peer_ingress_port;
 }
 
@@ -52,6 +59,14 @@ void EgressPort::on_wakeup() {
   start_next_transmission();
 }
 
+void EgressPort::deliver_to_peer(Packet&& pkt) {
+  if (net_ != nullptr) {
+    net_->deliver(peer_id_, std::move(pkt), peer_port_);
+  } else {
+    peer_node_->handle_packet(std::move(pkt), peer_port_);
+  }
+}
+
 void EgressPort::start_next_transmission() {
   assert(!busy());
   auto next = queue_->dequeue();
@@ -83,10 +98,12 @@ void EgressPort::start_next_transmission() {
   if (!queue_->empty()) ensure_wakeup();
 
   // Delivery at the peer after serialization + propagation. The packet moves
-  // once, and the lambda fits the scheduler's inline callback buffer.
-  if (peer_ != nullptr) {
-    sched_.after(tx + cfg_.delay, [peer = peer_, port = peer_port_, p = std::move(*next)]() mutable {
-      peer->handle_packet(std::move(p), port);
+  // once, and the lambda fits the scheduler's inline callback buffer. `this`
+  // is stable here: the port pool is frozen once traffic flows (see the
+  // Network invalidation rules).
+  if (net_ != nullptr || peer_node_ != nullptr) {
+    sched_.after(tx + cfg_.delay, [this, p = std::move(*next)]() mutable {
+      deliver_to_peer(std::move(p));
     });
   }
 }

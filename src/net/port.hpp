@@ -5,12 +5,16 @@
 // delivers each to the peer node after the link's propagation delay
 // (store-and-forward). Dequeue markers run at transmission start, which is
 // where AMRT's inter-dequeue-gap measurement lives.
+//
+// Ports live by value in Network's contiguous port pool and address their
+// queue (non-owning; the queue arena owns it) and their peer (a NodeId
+// resolved through the Network directory) as pool slots. The standalone
+// `connect(Node&)` path remains for unit tests that drive a port against a
+// bare scheduler without a Network.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <string>
 #include <utility>
 #include <vector>
 
@@ -22,12 +26,13 @@
 
 namespace amrt::net {
 
+class Network;
+
 class EgressPort {
  public:
   struct Config {
     sim::Bandwidth rate;
     sim::Duration delay;  // propagation delay to the peer
-    std::string name;     // for diagnostics, e.g. "leaf0->spine2"
     // Uniform random extra delay added per transmission (host NICs only;
     // models OS/NIC timing noise). Without it a deterministic simulator
     // phase-locks equal-rate senders and drop-tail races become
@@ -36,10 +41,16 @@ class EgressPort {
     std::uint64_t jitter_seed = 0;
   };
 
-  EgressPort(sim::Scheduler& sched, Config cfg, std::unique_ptr<EgressQueue> queue);
+  // `queue` is non-owning: Network's queue arena (or, in standalone tests,
+  // the caller) keeps it alive for the port's lifetime.
+  EgressPort(sim::Scheduler& sched, Config cfg, EgressQueue& queue);
 
-  // Wires the far end. Must be called before the first enqueue.
+  // Wires the far end to a standalone node (unit tests). Must be called
+  // before the first enqueue.
   void connect(Node& peer, int peer_ingress_port);
+  // Wires the far end to a pool slot: delivery resolves `peer` through the
+  // Network directory with no virtual dispatch. Network builders call this.
+  void connect(Network& net, NodeId peer, int peer_ingress_port);
 
   void add_marker(std::unique_ptr<DequeueMarker> marker);
 
@@ -51,6 +62,7 @@ class EgressPort {
   [[nodiscard]] const EgressQueue& queue() const { return *queue_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] bool busy() const { return sched_.now() < busy_until_; }
+  [[nodiscard]] NodeId peer() const { return peer_id_; }
 
   // --- telemetry (read by monitors) ---
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -60,6 +72,7 @@ class EgressPort {
 
  private:
   void start_next_transmission();
+  void deliver_to_peer(Packet&& pkt);
   // Serialization time at this port's (fixed) rate, memoized by packet size.
   // Traffic is almost entirely two sizes — full-MTU data and small control
   // frames — so a two-entry MRU cache turns the 128-bit division in
@@ -86,9 +99,13 @@ class EgressPort {
 
   sim::Scheduler& sched_;
   Config cfg_;
-  std::unique_ptr<EgressQueue> queue_;
+  EgressQueue* queue_ = nullptr;
   std::vector<std::unique_ptr<DequeueMarker>> markers_;
-  Node* peer_ = nullptr;
+  // Pooled wiring resolves peer_id_ through net_; standalone wiring
+  // virtual-dispatches through peer_node_. connect() sets exactly one.
+  Network* net_ = nullptr;
+  Node* peer_node_ = nullptr;
+  NodeId peer_id_{};
   int peer_port_ = -1;
   sim::Rng jitter_rng_;
   std::int64_t tx_memo_bytes_[2] = {-1, -1};

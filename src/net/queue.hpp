@@ -65,13 +65,16 @@ class EgressQueue {
   [[nodiscard]] QueueKind kind() const { return kind_; }
   [[nodiscard]] const QueueStats& stats() const { return stats_; }
 
-  // Attaches the run's invariant auditor (EgressPort does this at wiring
-  // time). A no-op in builds without AMRT_AUDIT.
-  void audit_bind(audit::Auditor* a) {
+  // Attaches the run's invariant auditor under a dense shadow slot (Network
+  // binds each arena queue with its port-pool slot; standalone tests pick
+  // any small integer). A no-op in builds without AMRT_AUDIT.
+  void audit_bind(audit::Auditor* a, std::uint32_t slot) {
 #ifdef AMRT_AUDIT
     audit_ = a;
+    audit_slot_ = slot;
 #else
     (void)a;
+    (void)slot;
 #endif
   }
 
@@ -106,7 +109,7 @@ class EgressQueue {
     ++stats_.dropped;
 #ifdef AMRT_AUDIT
     if (audit_ != nullptr) {
-      audit_->on_queue_unadmit(this, pkt.wire_bytes);
+      audit_->on_queue_unadmit(audit_slot_, pkt.wire_bytes);
       audit_->on_drop(audit::info_of(pkt), reason);
     }
 #endif
@@ -139,7 +142,7 @@ class EgressQueue {
     control_.push_back(std::move(pkt));
 #ifdef AMRT_AUDIT
     if (audit_ != nullptr) {
-      audit_->on_queue_admit(this, wire, total_pkts(), stats_.enqueued, stats_.dequeued,
+      audit_->on_queue_admit(audit_slot_, wire, total_pkts(), stats_.enqueued, stats_.dequeued,
                              stats_.dropped);
     }
 #endif
@@ -155,6 +158,7 @@ class EgressQueue {
   QueueKind kind_;
 #ifdef AMRT_AUDIT
   audit::Auditor* audit_ = nullptr;
+  std::uint32_t audit_slot_ = 0;
 #endif
 };
 
@@ -343,7 +347,7 @@ inline void EgressQueue::enqueue(Packet&& pkt) {
     if (depth > stats_.max_data_pkts) stats_.max_data_pkts = depth;
 #ifdef AMRT_AUDIT
     if (audit_ != nullptr) {
-      audit_->on_queue_admit(this, bytes, total_pkts(), stats_.enqueued, stats_.dequeued,
+      audit_->on_queue_admit(audit_slot_, bytes, total_pkts(), stats_.enqueued, stats_.dequeued,
                              stats_.dropped);
     }
 #endif
@@ -356,7 +360,7 @@ inline std::optional<Packet> EgressQueue::dequeue() {
     std::optional<Packet> pkt{control_.pop_front()};
 #ifdef AMRT_AUDIT
     if (audit_ != nullptr) {
-      audit_->on_queue_dequeue(this, pkt->wire_bytes, total_pkts(), stats_.enqueued,
+      audit_->on_queue_dequeue(audit_slot_, pkt->wire_bytes, total_pkts(), stats_.enqueued,
                                stats_.dequeued, stats_.dropped);
     }
 #endif
@@ -367,7 +371,7 @@ inline std::optional<Packet> EgressQueue::dequeue() {
     ++stats_.dequeued;
 #ifdef AMRT_AUDIT
     if (audit_ != nullptr) {
-      audit_->on_queue_dequeue(this, pkt->wire_bytes, total_pkts(), stats_.enqueued,
+      audit_->on_queue_dequeue(audit_slot_, pkt->wire_bytes, total_pkts(), stats_.enqueued,
                                stats_.dequeued, stats_.dropped);
     }
 #endif

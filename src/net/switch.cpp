@@ -1,18 +1,14 @@
 #include "net/switch.hpp"
 
+#include "net/network.hpp"
+
 namespace amrt::net {
 
-Switch::Switch(sim::Scheduler& sched, NodeId id, std::string name)
-    : Node{id, std::move(name)}, sched_{sched} {}
+Switch::Switch(Network& net, NodeId id) : Node{id}, net_{&net} {}
 
-int Switch::add_port(EgressPort::Config cfg, std::unique_ptr<EgressQueue> queue) {
-  ports_.push_back(std::make_unique<EgressPort>(sched_, std::move(cfg), std::move(queue)));
-  return static_cast<int>(ports_.size()) - 1;
-}
-
-void Switch::handle_packet(Packet&& pkt, int /*ingress_port*/) {
-  const int out = routes_.select(pkt);
-  ports_[out]->enqueue(std::move(pkt));
+int Switch::adopt_port(PortId port) {
+  port_slots_.push_back(port);
+  return static_cast<int>(port_slots_.size()) - 1;
 }
 
 }  // namespace amrt::net

@@ -2,39 +2,45 @@
 //
 // Forwarding is instantaneous (modern datacenter switching latency is
 // negligible next to 100µs link propagation); all contention happens in the
-// egress queues.
+// egress queues. The switch lives by value in Network's switch pool; its
+// ports are slots in the network-wide port pool, so the routing table's
+// answers (global PortIds) index that pool directly — a forward is a route
+// lookup plus one indexed load, with no per-switch indirection. The hot
+// accessors are defined inline in net/network.hpp once Network is complete.
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "net/node.hpp"
 #include "net/port.hpp"
 #include "net/routing.hpp"
-#include "sim/scheduler.hpp"
 
 namespace amrt::net {
 
+class Network;
+
 class Switch final : public Node {
  public:
-  Switch(sim::Scheduler& sched, NodeId id, std::string name);
+  Switch(Network& net, NodeId id);
 
-  // Adds an egress port; returns its index (also used as the peer's view of
-  // our ingress for symmetric cabling, though ingress is uncontended here).
-  int add_port(EgressPort::Config cfg, std::unique_ptr<EgressQueue> queue);
+  // Registers a port-pool slot as this switch's next local port; returns
+  // the local index. Network's wiring helpers call this.
+  int adopt_port(PortId port);
 
-  [[nodiscard]] EgressPort& port(int idx) { return *ports_.at(idx); }
-  [[nodiscard]] const EgressPort& port(int idx) const { return *ports_.at(idx); }
-  [[nodiscard]] int port_count() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] inline EgressPort& port(int idx);
+  [[nodiscard]] inline const EgressPort& port(int idx) const;
+  [[nodiscard]] int port_count() const { return static_cast<int>(port_slots_.size()); }
+  // The global port-pool slot behind local index `idx`.
+  [[nodiscard]] PortId port_id(int idx) const { return port_slots_.at(static_cast<std::size_t>(idx)); }
 
   [[nodiscard]] RoutingTable& routes() { return routes_; }
   [[nodiscard]] const RoutingTable& routes() const { return routes_; }
 
-  void handle_packet(Packet&& pkt, int ingress_port) override;
+  inline void handle_packet(Packet&& pkt, int ingress_port) override;
 
  private:
-  sim::Scheduler& sched_;
-  std::vector<std::unique_ptr<EgressPort>> ports_;
+  Network* net_;
+  std::vector<PortId> port_slots_;
   RoutingTable routes_;
 };
 

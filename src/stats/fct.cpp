@@ -19,21 +19,21 @@ void FctRecorder::on_flow_progress(std::uint64_t flow, std::uint64_t delta_bytes
 }
 
 void FctRecorder::on_flow_completed(std::uint64_t flow, sim::TimePoint at) {
-  auto it = open_.find(flow);
-  if (it == open_.end()) {
+  FlowRecord* rec = open_.find(flow);
+  if (rec == nullptr) {
     AMRT_WARN("FctRecorder: completion for unknown flow %llu", static_cast<unsigned long long>(flow));
     return;
   }
-  it->second.end = at;
-  completed_.push_back(it->second);
-  open_.erase(it);
+  rec->end = at;
+  completed_.push_back(*rec);
+  open_.erase(flow);
 }
 
 std::optional<FlowRecord> FctRecorder::record_of(std::uint64_t flow) const {
   for (const auto& r : completed_) {
     if (r.flow == flow) return r;
   }
-  if (auto it = open_.find(flow); it != open_.end()) return it->second;
+  if (const FlowRecord* rec = open_.find(flow)) return *rec;
   return std::nullopt;
 }
 

@@ -9,10 +9,10 @@
 #include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/flat_map.hpp"
 
 namespace amrt::stats {
 
@@ -75,7 +75,7 @@ class FctRecorder final : public FlowObserver {
  private:
   sim::Bandwidth reference_rate_;
   sim::Duration base_rtt_;
-  std::unordered_map<std::uint64_t, FlowRecord> open_;
+  util::FlatMap<std::uint64_t, FlowRecord> open_;
   std::vector<FlowRecord> completed_;
   std::size_t started_ = 0;
   std::uint64_t bytes_delivered_ = 0;

@@ -18,14 +18,15 @@ std::vector<double> BinnedSeries::rates() const {
 }
 
 void FlowThroughputTracker::record(std::uint64_t flow, std::uint64_t delta_bytes, sim::TimePoint at) {
-  auto [it, inserted] = series_.try_emplace(flow, width_);
-  it->second.add(at, static_cast<double>(delta_bytes));
+  auto [series, inserted] = series_.try_emplace(flow);
+  if (inserted) *series = BinnedSeries{width_};
+  series->add(at, static_cast<double>(delta_bytes));
 }
 
 std::vector<double> FlowThroughputTracker::gbps(std::uint64_t flow) const {
-  auto it = series_.find(flow);
-  if (it == series_.end()) return {};
-  auto rates = it->second.rates();  // bytes/sec
+  const BinnedSeries* series = series_.find(flow);
+  if (series == nullptr) return {};
+  auto rates = series->rates();  // bytes/sec
   for (auto& r : rates) r = r * 8.0 * 1e-9;
   return rates;
 }

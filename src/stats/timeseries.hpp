@@ -3,16 +3,19 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/flat_map.hpp"
 
 namespace amrt::stats {
 
 // Accumulates values into equal-width time bins starting at t=0.
 class BinnedSeries {
  public:
+  // Default-constructible so it can live in a FlatMap slot; a real bin
+  // width is assigned before the first add().
+  BinnedSeries() = default;
   explicit BinnedSeries(sim::Duration bin_width) : width_{bin_width} {}
 
   void add(sim::TimePoint at, double value);
@@ -27,7 +30,7 @@ class BinnedSeries {
   [[nodiscard]] std::vector<double> rates() const;
 
  private:
-  sim::Duration width_;
+  sim::Duration width_ = sim::Duration::zero();
   std::vector<double> sums_;
 };
 
@@ -48,7 +51,7 @@ class FlowThroughputTracker {
 
  private:
   sim::Duration width_;
-  std::unordered_map<std::uint64_t, BinnedSeries> series_;
+  util::FlatMap<std::uint64_t, BinnedSeries> series_;
 };
 
 }  // namespace amrt::stats

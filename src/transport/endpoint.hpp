@@ -3,7 +3,7 @@
 // and the per-protocol subclasses.
 #pragma once
 
-#include "net/host.hpp"
+#include "net/network.hpp"  // Host's inline send/nic need the complete Network
 #include "sim/simulation.hpp"
 #include "stats/fct.hpp"
 #include "transport/config.hpp"

@@ -5,6 +5,7 @@
 // prints the replay line before aborting.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "audit/auditor.hpp"
@@ -118,7 +119,7 @@ TEST_F(AuditTest, AntiEcnSetBitCaught) {
 }
 
 TEST_F(AuditTest, QueueByteDriftCaught) {
-  const void* q = &a;
+  const std::uint32_t q = 7;
   a.on_queue_admit(q, 100, /*depth=*/1, /*enq=*/1, /*deq=*/0, /*dropped=*/0);
   // Dequeue reports fewer wire bytes than were admitted: queue empty but
   // shadow bytes nonzero.
@@ -128,13 +129,13 @@ TEST_F(AuditTest, QueueByteDriftCaught) {
 }
 
 TEST_F(AuditTest, QueueOverDequeueCaught) {
-  const void* q = &a;
+  const std::uint32_t q = 7;
   a.on_queue_dequeue(q, 100, 0, 0, 1, 0);  // dequeue from a never-admitted queue
   expect_violation(a, "queue-accounting");
 }
 
 TEST_F(AuditTest, QueueStatsIdentityCaught) {
-  const void* q = &a;
+  const std::uint32_t q = 7;
   // Depth 1 but stats claim 2 enqueued, 0 dequeued, 0 dropped: one packet
   // vanished without a drop record.
   a.on_queue_admit(q, 100, /*depth=*/1, /*enq=*/2, /*deq=*/0, /*dropped=*/0);

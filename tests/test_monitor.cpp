@@ -18,13 +18,16 @@ struct Rig {
   Switch* sw = nullptr;
 
   Rig() {
-    sw = &net.add_switch("sw");
-    a = &net.add_host("a", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(4096));
-    b = &net.add_host("b", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(4096));
-    net.attach_host(*a, *sw, std::make_unique<DropTailQueue>(256));
-    net.attach_host(*b, *sw, std::make_unique<DropTailQueue>(256));
-    sw->routes().add_route(a->id(), 0);
-    sw->routes().add_route(b->id(), 1);
+    const SwitchId s = net.add_switch();
+    const HostId ha = net.add_host(Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(4096));
+    const HostId hb = net.add_host(Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(4096));
+    const PortId a_down = net.attach_host(ha, s, std::make_unique<DropTailQueue>(256));
+    const PortId b_down = net.attach_host(hb, s, std::make_unique<DropTailQueue>(256));
+    net.switch_at(s).routes().add_route(net.id_of(ha), a_down);
+    net.switch_at(s).routes().add_route(net.id_of(hb), b_down);
+    sw = &net.switch_at(s);
+    a = &net.host(ha);
+    b = &net.host(hb);
   }
 
   void blast(int packets) {

@@ -14,7 +14,7 @@ namespace {
 // Records every delivered packet with its arrival time.
 class SinkNode final : public Node {
  public:
-  SinkNode() : Node{NodeId{99}, "sink"} {}
+  SinkNode() : Node{NodeId{99}} {}
   void handle_packet(Packet&& pkt, int port) override {
     arrivals.push_back({pkt, port});
     times.push_back(now_fn ? now_fn() : TimePoint::zero());
@@ -36,11 +36,12 @@ Packet data_pkt(std::uint32_t seq, std::uint32_t wire = kMtuBytes) {
 struct PortRig {
   Scheduler sched;
   SinkNode sink;
+  std::unique_ptr<EgressQueue> queue;  // the port's queue is non-owning
   EgressPort port;
 
   explicit PortRig(EgressPort::Config cfg, std::unique_ptr<EgressQueue> q =
                                                std::make_unique<DropTailQueue>(64))
-      : port{sched, std::move(cfg), std::move(q)} {
+      : queue{std::move(q)}, port{sched, cfg, *queue} {
     sink.now_fn = [this] { return sched.now(); };
     port.connect(sink, 3);
   }
@@ -49,7 +50,7 @@ struct PortRig {
 }  // namespace
 
 TEST(EgressPort, DeliversAfterSerializationPlusPropagation) {
-  PortRig rig{{Bandwidth::gbps(10), 5_us, "t"}};
+  PortRig rig{{Bandwidth::gbps(10), 5_us}};
   rig.port.enqueue(data_pkt(0));
   rig.sched.run();
   ASSERT_EQ(rig.sink.arrivals.size(), 1u);
@@ -59,7 +60,7 @@ TEST(EgressPort, DeliversAfterSerializationPlusPropagation) {
 }
 
 TEST(EgressPort, SerializesBackToBack) {
-  PortRig rig{{Bandwidth::gbps(10), Duration::zero(), "t"}};
+  PortRig rig{{Bandwidth::gbps(10), Duration::zero()}};
   rig.port.enqueue(data_pkt(0));
   rig.port.enqueue(data_pkt(1));
   rig.sched.run();
@@ -68,7 +69,7 @@ TEST(EgressPort, SerializesBackToBack) {
 }
 
 TEST(EgressPort, PreservesFifoOrderAcrossLink) {
-  PortRig rig{{Bandwidth::gbps(10), 2_us, "t"}};
+  PortRig rig{{Bandwidth::gbps(10), 2_us}};
   for (std::uint32_t i = 0; i < 10; ++i) rig.port.enqueue(data_pkt(i));
   rig.sched.run();
   ASSERT_EQ(rig.sink.arrivals.size(), 10u);
@@ -76,7 +77,7 @@ TEST(EgressPort, PreservesFifoOrderAcrossLink) {
 }
 
 TEST(EgressPort, CountsBytesAndPackets) {
-  PortRig rig{{Bandwidth::gbps(10), Duration::zero(), "t"}};
+  PortRig rig{{Bandwidth::gbps(10), Duration::zero()}};
   rig.port.enqueue(data_pkt(0));
   rig.port.enqueue(data_pkt(1, 500));
   rig.sched.run();
@@ -85,7 +86,7 @@ TEST(EgressPort, CountsBytesAndPackets) {
 }
 
 TEST(EgressPort, BusyTimeAccumulatesSerialization) {
-  PortRig rig{{Bandwidth::gbps(10), 10_us, "t"}};
+  PortRig rig{{Bandwidth::gbps(10), 10_us}};
   rig.port.enqueue(data_pkt(0));
   rig.port.enqueue(data_pkt(1));
   rig.sched.run();
@@ -93,7 +94,7 @@ TEST(EgressPort, BusyTimeAccumulatesSerialization) {
 }
 
 TEST(EgressPort, DropsSurfaceInQueueStats) {
-  PortRig rig{{Bandwidth::gbps(10), Duration::zero(), "t"},
+  PortRig rig{{Bandwidth::gbps(10), Duration::zero()},
               std::make_unique<DropTailQueue>(1)};
   // While the first packet serializes, the 2nd occupies the single slot and
   // the rest drop.
@@ -110,7 +111,7 @@ TEST(EgressPort, MarkerSeesIdleGapState) {
       gaps.push_back(tx_start - last_tx_end);
     }
   };
-  PortRig rig{{Bandwidth::gbps(10), Duration::zero(), "t"}};
+  PortRig rig{{Bandwidth::gbps(10), Duration::zero()}};
   auto probe = std::make_unique<Probe>();
   auto* probe_ptr = probe.get();
   rig.port.add_marker(std::move(probe));
@@ -126,7 +127,7 @@ TEST(EgressPort, MarkerSeesIdleGapState) {
 }
 
 TEST(EgressPort, JitterBoundsInterPacketSpacing) {
-  EgressPort::Config cfg{Bandwidth::gbps(10), Duration::zero(), "t"};
+  EgressPort::Config cfg{Bandwidth::gbps(10), Duration::zero()};
   cfg.tx_jitter = 150_ns;
   cfg.jitter_seed = 7;
   PortRig rig{cfg};
@@ -145,15 +146,13 @@ TEST(EgressPort, JitterBoundsInterPacketSpacing) {
 
 TEST(EgressPort, InvalidConfigRejected) {
   Scheduler sched;
-  EXPECT_THROW(EgressPort(sched, {Bandwidth::bps(0), Duration::zero(), "bad"},
-                          std::make_unique<DropTailQueue>(4)),
-               std::invalid_argument);
-  EXPECT_THROW(EgressPort(sched, {Bandwidth::gbps(1), Duration::zero(), "bad"}, nullptr),
+  DropTailQueue q{4};
+  EXPECT_THROW(EgressPort(sched, {Bandwidth::bps(0), Duration::zero()}, q),
                std::invalid_argument);
 }
 
 TEST(EgressPort, ControlPreemptsQueuedData) {
-  PortRig rig{{Bandwidth::gbps(10), Duration::zero(), "t"}};
+  PortRig rig{{Bandwidth::gbps(10), Duration::zero()}};
   rig.port.enqueue(data_pkt(0));  // starts transmitting immediately
   rig.port.enqueue(data_pkt(1));
   Packet g;

@@ -37,10 +37,11 @@ class DumbbellRig {
     auto mf = core::make_marker_factory(opt.proto);
     auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
 
-    s0_ = &network_.add_switch("S0");
-    s1_ = &network_.add_switch("S1");
-    bottleneck_ = &network_.add_switch_port(*s0_, *s1_, opt.rate, opt.delay, qf(false), marker());
-    network_.add_switch_port(*s1_, *s0_, opt.rate, opt.delay, qf(false), marker());
+    const net::SwitchId s0 = network_.add_switch();
+    const net::SwitchId s1 = network_.add_switch();
+    bottleneck_id_ =
+        network_.add_switch_port(s0, network_.id_of(s1), opt.rate, opt.delay, qf(false), marker());
+    network_.add_switch_port(s1, network_.id_of(s0), opt.rate, opt.delay, qf(false), marker());
 
     transport::TransportConfig tcfg;
     tcfg.host_rate = opt.rate;
@@ -51,17 +52,31 @@ class DumbbellRig {
     tcfg.homa_overcommit = opt.homa_overcommit;
     tcfg_ = tcfg;
 
+    // Wire everything first — pool references are stable only once the
+    // topology stops growing.
+    std::vector<net::HostId> src_ids;
+    std::vector<net::HostId> dst_ids;
     for (int i = 0; i < opt.pairs; ++i) {
-      auto& src = network_.add_host("src" + std::to_string(i), opt.rate, opt.delay,
-                                    std::make_unique<net::DropTailQueue>(opt.queues.host_nic_pkts));
-      auto& dst = network_.add_host("dst" + std::to_string(i), opt.rate, opt.delay,
-                                    std::make_unique<net::DropTailQueue>(opt.queues.host_nic_pkts));
-      const int src_down = network_.attach_host(src, *s0_, qf(false), marker());
-      const int dst_down = network_.attach_host(dst, *s1_, qf(false), marker());
-      s0_->routes().add_route(src.id(), src_down);
-      s1_->routes().add_route(dst.id(), dst_down);
-      s0_->routes().add_route(dst.id(), 0);  // via bottleneck
-      s1_->routes().add_route(src.id(), 0);  // reverse path
+      const net::HostId src = network_.add_host(
+          opt.rate, opt.delay, std::make_unique<net::DropTailQueue>(opt.queues.host_nic_pkts));
+      const net::HostId dst = network_.add_host(
+          opt.rate, opt.delay, std::make_unique<net::DropTailQueue>(opt.queues.host_nic_pkts));
+      const net::PortId src_down = network_.attach_host(src, s0, qf(false), marker());
+      const net::PortId dst_down = network_.attach_host(dst, s1, qf(false), marker());
+      network_.switch_at(s0).routes().add_route(network_.id_of(src), src_down);
+      network_.switch_at(s1).routes().add_route(network_.id_of(dst), dst_down);
+      // via bottleneck / reverse path
+      network_.switch_at(s0).routes().add_route(network_.id_of(dst), bottleneck_id_);
+      network_.switch_at(s1).routes().add_route(network_.id_of(src),
+                                                network_.switch_at(s1).port_id(0));
+      src_ids.push_back(src);
+      dst_ids.push_back(dst);
+    }
+    s0_ = &network_.switch_at(s0);
+    s1_ = &network_.switch_at(s1);
+    for (int i = 0; i < opt.pairs; ++i) {
+      net::Host& src = network_.host(src_ids[i]);
+      net::Host& dst = network_.host(dst_ids[i]);
       senders_.push_back(&src);
       receivers_.push_back(&dst);
 
@@ -101,7 +116,7 @@ class DumbbellRig {
   sim::Scheduler& sched() { return sim_.scheduler(); }
   net::Network& network() { return network_; }
   stats::FctRecorder& recorder() { return *recorder_; }
-  net::EgressPort& bottleneck() { return *bottleneck_; }
+  net::EgressPort& bottleneck() { return network_.port_at(bottleneck_id_); }
   net::Switch& s0() { return *s0_; }
   net::Switch& s1() { return *s1_; }
   net::Host& sender(int i) { return *senders_[i]; }
@@ -118,7 +133,7 @@ class DumbbellRig {
   std::unique_ptr<stats::FctRecorder> recorder_;
   net::Switch* s0_ = nullptr;
   net::Switch* s1_ = nullptr;
-  net::EgressPort* bottleneck_ = nullptr;
+  net::PortId bottleneck_id_ = -1;
   std::vector<net::Host*> senders_;
   std::vector<net::Host*> receivers_;
   std::vector<transport::ReceiverDrivenEndpoint*> sender_eps_;

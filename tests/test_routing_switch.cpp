@@ -134,27 +134,28 @@ TEST(Switch, ForwardsToRoutedPort) {
   Simulation sim;
   Scheduler& sched = sim.scheduler();
   Network net{sim};
-  auto& sw = net.add_switch("sw");
-  auto& h0 = net.add_host("h0", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(64));
-  auto& h1 = net.add_host("h1", Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(64));
-  net.attach_host(h0, sw, std::make_unique<DropTailQueue>(64));
-  net.attach_host(h1, sw, std::make_unique<DropTailQueue>(64));
-  sw.routes().add_route(h0.id(), 0);
-  sw.routes().add_route(h1.id(), 1);
+  const SwitchId sw = net.add_switch();
+  const HostId h0 = net.add_host(Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(64));
+  const HostId h1 = net.add_host(Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(64));
+  const PortId h0_down = net.attach_host(h0, sw, std::make_unique<DropTailQueue>(64));
+  const PortId h1_down = net.attach_host(h1, sw, std::make_unique<DropTailQueue>(64));
+  net.switch_at(sw).routes().add_route(net.id_of(h0), h0_down);
+  net.switch_at(sw).routes().add_route(net.id_of(h1), h1_down);
 
-  sw.handle_packet(to_dst(h1.id()), 0);
+  net.switch_at(sw).handle_packet(to_dst(net.id_of(h1)), 0);
   sched.run();
-  EXPECT_EQ(h1.bytes_received(), kMtuBytes);
-  EXPECT_EQ(h0.bytes_received(), 0u);
+  EXPECT_EQ(net.host(h0).bytes_received(), 0u);
+  EXPECT_EQ(net.host(h1).bytes_received(), kMtuBytes);
 }
 
 TEST(Switch, PortAccessorsAndCount) {
   Simulation sim;
   Network net{sim};
-  auto& sw = net.add_switch("sw");
-  EXPECT_EQ(sw.port_count(), 0);
-  auto& a = net.add_switch("a");
-  net.add_switch_port(sw, a, Bandwidth::gbps(10), 1_us, std::make_unique<DropTailQueue>(8));
-  EXPECT_EQ(sw.port_count(), 1);
-  EXPECT_EQ(sw.port(0).config().rate, Bandwidth::gbps(10));
+  const SwitchId sw = net.add_switch();
+  EXPECT_EQ(net.switch_at(sw).port_count(), 0);
+  const SwitchId a = net.add_switch();
+  net.add_switch_port(sw, net.id_of(a), Bandwidth::gbps(10), 1_us,
+                      std::make_unique<DropTailQueue>(8));
+  EXPECT_EQ(net.switch_at(sw).port_count(), 1);
+  EXPECT_EQ(net.switch_at(sw).port(0).config().rate, Bandwidth::gbps(10));
 }

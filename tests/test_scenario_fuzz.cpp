@@ -35,13 +35,13 @@ using FuzzDeterminism = NoFailFast;
 }  // namespace
 
 TEST_F(FuzzSmoke, SeedBudgetAllOraclesHold) {
-  // 5 seeds x 3 topologies x 4 transports = 60 cases; every failure prints
+  // 5 seeds x 4 topologies x 4 transports = 80 cases; every failure prints
   // the standalone one-line repro.
   FuzzOptions opts;
   opts.first_seed = 1;
   opts.seeds = 5;
   const auto report = harness::fuzz::run_fuzz(opts);
-  EXPECT_EQ(report.cases, 60u);
+  EXPECT_EQ(report.cases, 80u);
   EXPECT_EQ(report.failures, 0u);
   for (const auto& line : report.failure_lines) ADD_FAILURE() << line;
 }
@@ -83,7 +83,7 @@ TEST_F(FuzzDeterminism, SerialAndParallelSweepsIdentical) {
   };
   const auto serial = sweep(1);
   const auto parallel = sweep(4);
-  ASSERT_EQ(serial.size(), 36u);
+  ASSERT_EQ(serial.size(), 48u);
   EXPECT_EQ(serial, parallel);
 }
 
@@ -97,6 +97,7 @@ TEST(FuzzRepro, LineNamesSeedTopoAndTransport) {
   // And the names round-trip back into a config.
   EXPECT_EQ(harness::fuzz::topo_from_string("dumbbell"), Topo::kDumbbell);
   EXPECT_EQ(harness::fuzz::topo_from_string("leaf-spine"), Topo::kLeafSpine);
+  EXPECT_EQ(harness::fuzz::topo_from_string("fat-tree"), Topo::kFatTree);
   EXPECT_THROW(harness::fuzz::topo_from_string("torus"), std::invalid_argument);
 }
 

@@ -18,8 +18,8 @@ std::string proto_name(const ::testing::TestParamInfo<Protocol>& info) {
 
 std::uint64_t total_drops(DumbbellRig& rig) {
   std::uint64_t drops = 0;
-  for (auto& sw : rig.network().switches()) {
-    for (int p = 0; p < sw->port_count(); ++p) drops += sw->port(p).queue().stats().dropped;
+  for (const auto& sw : rig.network().switches()) {
+    for (int p = 0; p < sw.port_count(); ++p) drops += sw.port(p).queue().stats().dropped;
   }
   return drops;
 }
@@ -77,8 +77,8 @@ TEST(RecoveryNdp, TrimsInsteadOfDropping) {
   for (int i = 0; i < 3; ++i) rig.start_flow(static_cast<net::FlowId>(i + 1), i, 300'000);
   ASSERT_TRUE(rig.run_to_completion(3, 1_s));
   std::uint64_t trims = 0;
-  for (auto& sw : rig.network().switches()) {
-    for (int p = 0; p < sw->port_count(); ++p) trims += sw->port(p).queue().stats().trimmed;
+  for (const auto& sw : rig.network().switches()) {
+    for (int p = 0; p < sw.port_count(); ++p) trims += sw.port(p).queue().stats().trimmed;
   }
   EXPECT_GT(trims, 0u);
   EXPECT_EQ(total_drops(rig), 0u) << "NDP's switches never drop data";

@@ -20,6 +20,13 @@ existing binaries:
 
 Exits non-zero if any benchmark regresses by more than --fail-above (off by
 default), so it can gate CI.
+
+A second mode diffs two bench_scale JSON reports (the fat-tree macro
+benchmark) instead of running anything:
+
+    python3 tools/bench_compare.py --scale old.json new.json
+
+which prints per-transport deltas of wall time, events/sec and peak RSS.
 """
 
 import argparse
@@ -74,11 +81,59 @@ def run_bench(binary, bench_filter, min_time):
     return res
 
 
+def load_scale_report(path):
+    """bench_scale JSON -> {name: row dict}, skipping aggregate rows."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        rows[b["name"]] = b
+    return rows
+
+
+def compare_scale(baseline_path, test_path, fail_above):
+    base = load_scale_report(baseline_path)
+    test = load_scale_report(test_path)
+    names = sorted(set(base) & set(test))
+    if not names:
+        sys.exit("error: the two reports share no benchmark names")
+    gone = sorted(set(base) - set(test))
+    if gone:
+        print(f"(benchmarks present only in the baseline: {', '.join(gone)})")
+
+    wname = max(len(n) for n in names)
+    header = (f"{'benchmark':<{wname}}  {'time old':>10}  {'time new':>10}  {'ratio':>6}  "
+              f"{'Mev/s old':>9}  {'Mev/s new':>9}  {'rss old':>8}  {'rss new':>8}")
+    print(header)
+    print("-" * len(header))
+    worst = 0.0
+    for name in names:
+        b, t = base[name], test[name]
+        ratio = t["real_time"] / b["real_time"] if b["real_time"] else float("inf")
+        worst = max(worst, ratio)
+        print(f"{name:<{wname}}  {b['real_time']:>8.1f}ms  {t['real_time']:>8.1f}ms  "
+              f"{ratio:>6.3f}  "
+              f"{b.get('events_per_second', 0) / 1e6:>9.2f}  "
+              f"{t.get('events_per_second', 0) / 1e6:>9.2f}  "
+              f"{b.get('peak_rss_mb', 0):>6.1f}MB  {t.get('peak_rss_mb', 0):>6.1f}MB")
+    print("\n(wall time per run; ratio < 1 means the candidate is faster)")
+    for name in sorted(set(test) - set(base)):
+        t = test[name]
+        print(f"new: {name}  {t['real_time']:.1f}ms  "
+              f"{t.get('events_per_second', 0) / 1e6:.2f}Mev/s")
+    if fail_above is not None and worst > fail_above:
+        sys.exit(f"FAIL: worst ratio {worst:.3f} exceeds --fail-above {fail_above}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     src = ap.add_mutually_exclusive_group(required=True)
     src.add_argument("--baseline-ref", help="git ref to build as the baseline")
     src.add_argument("--baseline-bin", help="path to a prebuilt baseline micro_core")
+    src.add_argument("--scale", nargs=2, metavar=("BASELINE_JSON", "TEST_JSON"),
+                     help="diff two bench_scale JSON reports instead of running micro_core")
     ap.add_argument("--test-bin", default=os.path.join(REPO, "build", "bench", "micro_core"),
                     help="candidate binary (default: build/bench/micro_core)")
     ap.add_argument("--filter", default=".", help="benchmark name regex")
@@ -90,6 +145,10 @@ def main():
                     help="exit 1 if any benchmark's cpu-time ratio (new/old) exceeds this")
     ap.add_argument("-j", "--jobs", type=int, default=os.cpu_count() or 4)
     args = ap.parse_args()
+
+    if args.scale:
+        compare_scale(args.scale[0], args.scale[1], args.fail_above)
+        return
 
     worktree = None
     try:

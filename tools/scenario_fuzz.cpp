@@ -26,7 +26,7 @@ using harness::fuzz::Topo;
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seed N] [--seeds N] [--topo leafspine|dumbbell|chain|all]\n"
+               "usage: %s [--seed N] [--seeds N] [--topo leafspine|dumbbell|chain|fattree|all]\n"
                "          [--transport amrt|phost|homa|ndp|all] [--threads N]\n"
                "          [--keep-going] [--quiet]\n"
                "\n"
