@@ -55,6 +55,11 @@ enum class DropReason : std::uint8_t {
   kUnscheduledSacrifice,  // Aeolus: blind packet refused at a full band
   kEvictedUnscheduled,    // Aeolus: queued blind packet evicted by scheduled
   kOther,
+  // Fault-injection losses (src/fault): the fabric ate the packet. Kept
+  // apart from congestion drops in the ledger — the `faulted` debit — so
+  // conservation closes under injected failures without masking real leaks.
+  kLinkDown,   // egress link down: packet refused or flushed from the queue
+  kBlackhole,  // probabilistic per-port corruption/blackholing
 };
 
 [[nodiscard]] inline const char* to_string(DropReason r) {
@@ -63,8 +68,15 @@ enum class DropReason : std::uint8_t {
     case DropReason::kUnscheduledSacrifice: return "unscheduled-sacrifice";
     case DropReason::kEvictedUnscheduled: return "evicted-unscheduled";
     case DropReason::kOther: return "other";
+    case DropReason::kLinkDown: return "link-down";
+    case DropReason::kBlackhole: return "blackhole";
   }
   return "?";
+}
+
+// Fault-injected losses are debited separately from congestion drops.
+[[nodiscard]] inline bool is_fault(DropReason r) {
+  return r == DropReason::kLinkDown || r == DropReason::kBlackhole;
 }
 
 // Primitive mirror of the net::Packet fields the auditor reads. Defined
@@ -144,8 +156,13 @@ class Auditor {
       }
       --it->second;
     }
-    ++dropped_;
-    dropped_payload_ += p.payload_bytes;
+    if (is_fault(r)) {
+      ++faulted_;
+      faulted_payload_ += p.payload_bytes;
+    } else {
+      ++dropped_;
+      dropped_payload_ += p.payload_bytes;
+    }
   }
 
   // `payload_removed` is the payload the trim cut; the (now header-only)
@@ -168,13 +185,15 @@ class Auditor {
         return;
       }
     }
-    if (injected_payload_ != delivered_payload_ + dropped_payload_ + trimmed_payload_) {
+    if (injected_payload_ !=
+        delivered_payload_ + dropped_payload_ + trimmed_payload_ + faulted_payload_) {
       fail("byte-conservation",
-           "payload ledger open at drain: injected %llu != delivered %llu + dropped %llu + trimmed %llu",
+           "payload ledger open at drain: injected %llu != delivered %llu + dropped %llu + trimmed %llu + faulted %llu",
            static_cast<unsigned long long>(injected_payload_),
            static_cast<unsigned long long>(delivered_payload_),
            static_cast<unsigned long long>(dropped_payload_),
-           static_cast<unsigned long long>(trimmed_payload_));
+           static_cast<unsigned long long>(trimmed_payload_),
+           static_cast<unsigned long long>(faulted_payload_));
     }
   }
 
@@ -304,6 +323,7 @@ class Auditor {
   [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t trimmed() const { return trimmed_; }
+  [[nodiscard]] std::uint64_t faulted() const { return faulted_; }
   // True when the auditor is compiled in (the stub returns false).
   [[nodiscard]] static constexpr bool enabled() { return true; }
 
@@ -371,9 +391,9 @@ class Auditor {
   std::unordered_map<std::uint64_t, std::int64_t> ledger_;
   std::vector<QueueShadow> queues_;  // indexed by queue pool slot
   std::unordered_set<std::uint64_t> finished_;
-  std::uint64_t injected_ = 0, delivered_ = 0, dropped_ = 0, trimmed_ = 0;
+  std::uint64_t injected_ = 0, delivered_ = 0, dropped_ = 0, trimmed_ = 0, faulted_ = 0;
   std::uint64_t injected_payload_ = 0, delivered_payload_ = 0, dropped_payload_ = 0,
-                trimmed_payload_ = 0;
+                trimmed_payload_ = 0, faulted_payload_ = 0;
   std::int64_t last_fire_ns_ = INT64_MIN;
   std::uint64_t violation_count_ = 0;
   std::vector<std::string> violations_;
@@ -410,6 +430,7 @@ class Auditor {
   [[nodiscard]] std::uint64_t delivered() const { return 0; }
   [[nodiscard]] std::uint64_t dropped() const { return 0; }
   [[nodiscard]] std::uint64_t trimmed() const { return 0; }
+  [[nodiscard]] std::uint64_t faulted() const { return 0; }
   [[nodiscard]] static constexpr bool enabled() { return false; }
 };
 

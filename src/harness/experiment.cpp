@@ -5,6 +5,7 @@
 #include <memory>
 #include <ostream>
 
+#include "fault/fault.hpp"
 #include "net/monitor.hpp"
 #include "net/topology.hpp"
 
@@ -66,6 +67,27 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   topo_cfg.marker_factory = core::make_marker_factory(cfg.proto);
   topo_cfg.multipath = cfg.multipath;
   net::LeafSpine topo = net::build_leaf_spine(network, topo_cfg);
+
+  // Injected fault schedule, drawn from its own seed stream (so a fault
+  // scenario can be pinned while the workload seed sweeps). The injector
+  // must outlive sched.run_until below — its scheduled callbacks read it.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (cfg.fault_incidents > 0) {
+    std::vector<net::PortId> fabric_ports;
+    for (int l = 0; l < cfg.leaves; ++l) {
+      for (int h = 0; h < cfg.hosts_per_leaf; ++h) fabric_ports.push_back(topo.leaf_down[l][h]);
+      for (int s = 0; s < cfg.spines; ++s) {
+        fabric_ports.push_back(topo.leaf_up[l][s]);
+        fabric_ports.push_back(topo.spine_down[s][l]);
+      }
+    }
+    fault::FaultPlan plan;
+    plan.seed = cfg.fault_seed;
+    sim::Rng fault_rng{cfg.fault_seed};
+    plan.draw(fault_rng, fabric_ports, topo.base_rtt, cfg.fault_incidents);
+    injector = std::make_unique<fault::FaultInjector>(network, std::move(plan));
+    injector->arm();
+  }
 
   transport::TransportConfig tcfg;
   tcfg.host_rate = cfg.link_rate;
@@ -166,6 +188,7 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
       out.trims += sw.port(p).queue().stats().trimmed;
     }
   }
+  out.faulted = network.packets_faulted();
 
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();

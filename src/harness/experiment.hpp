@@ -36,6 +36,13 @@ struct ExperimentConfig {
   net::MultipathMode multipath = net::MultipathMode::kPerFlowEcmp;
   std::uint64_t seed = 1;
 
+  // Fault injection (src/fault): number of random bounded incidents (link
+  // flaps, blackhole windows, rate dips) drawn against the fabric's switch
+  // ports. 0 (the default) runs a pristine fabric — byte-identical to
+  // builds without fault injection.
+  std::size_t fault_incidents = 0;
+  std::uint64_t fault_seed = 1;  // independent of `seed` so schedules can be pinned
+
   // Hard stop for pathological runs; completion normally stops the clock.
   sim::Duration max_sim_time = sim::Duration::seconds(30);
   sim::Duration sample_interval = sim::Duration::microseconds(100);
@@ -49,6 +56,7 @@ struct ExperimentResult {
   std::size_t max_queue_pkts = 0;
   std::uint64_t drops = 0;  // across all switch ports
   std::uint64_t trims = 0;
+  std::uint64_t faulted = 0;  // packets eaten by injected faults
   std::uint64_t bytes_delivered = 0;
   std::uint64_t events = 0;
   double sim_seconds = 0;

@@ -7,6 +7,7 @@
 
 #include "audit/auditor.hpp"
 #include "core/factory.hpp"
+#include "fault/fault.hpp"
 #include "harness/sweep.hpp"
 #include "net/topology.hpp"
 #include "sim/simulation.hpp"
@@ -231,6 +232,31 @@ Scenario build_case(net::Network& network, const CaseConfig& c, const CaseParams
   throw std::logic_error("fuzz: unknown topology");
 }
 
+// Draws a bounded fault schedule against the built fabric's switch egress
+// ports. Called after build_case with the same parameter stream, so these
+// draws sit strictly after every pre-existing one (replay contract: cases
+// with faults off consume exactly the old stream). All windows are bounded
+// multiples of the topology's base RTT — long enough to force every
+// backstop in DESIGN.md §11, short enough that completion stays provable.
+fault::FaultPlan draw_fault_plan(const CaseConfig& c, const net::Network& network,
+                                 sim::Duration base_rtt, sim::Rng& rng) {
+  fault::FaultPlan plan;
+  plan.seed = mix(c.seed, case_salt(c) ^ 0xFA17ULL);
+
+  // Only switch-owned egress ports fault: host NICs are the measurement
+  // reference point (the FCT floor oracle assumes the sender serializes at
+  // its configured rate at least once).
+  std::vector<net::PortId> eligible;
+  for (const auto& sw : network.switches()) {
+    for (int i = 0; i < sw.port_count(); ++i) eligible.push_back(sw.port_id(i));
+  }
+  if (eligible.empty()) return plan;
+
+  const auto incidents = rng.uniform_int(1, 4);
+  plan.draw(rng, eligible, base_rtt, incidents);
+  return plan;
+}
+
 // Livelock valve: typical cases finish in well under 10^5 events, and the
 // worst observed legitimate case (deep loss recovery with 8-packet buffers
 // under timeout backoff) converges around 6x10^6, so an order of magnitude
@@ -264,7 +290,8 @@ Topo topo_from_string(const std::string& s) {
 
 std::string repro_line(const CaseConfig& c) {
   return std::string{"scenario_fuzz --seed "} + std::to_string(c.seed) + " --topo " +
-         to_string(c.topo) + " --transport " + transport::to_string(c.proto);
+         to_string(c.topo) + " --transport " + transport::to_string(c.proto) +
+         (c.faults ? " --faults" : "");
 }
 
 CaseResult run_case(const CaseConfig& c) {
@@ -278,6 +305,16 @@ CaseResult run_case(const CaseConfig& c) {
   sim::Scheduler& sched = simu.scheduler();
   net::Network network{simu};
   Scenario scen = build_case(network, c, params);
+
+  // Fault schedule: drawn after the topology (it needs the built port pool),
+  // armed before the run. The injector owns the plan the scheduled
+  // callbacks read, so it must outlive sched.run() below.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (c.faults) {
+    injector = std::make_unique<fault::FaultInjector>(
+        network, draw_fault_plan(c, network, scen.base_rtt, draw));
+    injector->arm();
+  }
 
   transport::TransportConfig tcfg;
   tcfg.host_rate = params.link_rate;
@@ -315,6 +352,7 @@ CaseResult run_case(const CaseConfig& c) {
   r.flows = flows.size();
   r.completed = recorder.completed().size();
   r.events = sched.events_processed();
+  r.faulted = network.packets_faulted();
 
   auto fail = [&r](std::string why) {
     if (r.ok) {
@@ -329,7 +367,6 @@ CaseResult run_case(const CaseConfig& c) {
          std::to_string(r.flows) + " flows unfinished" +
          (r.events >= kEventLimit ? " (event limit hit)" : ""));
   }
-
   // Oracle 2: physics. Payload must serialize through the sender NIC and
   // cross at least one propagation delay; queueing/loss only adds to that.
   for (const auto& rec : recorder.completed()) {
@@ -385,6 +422,7 @@ CaseResult run_case(const CaseConfig& c) {
   fnv.add(r.drops);
   fnv.add(r.trims);
   fnv.add(r.events);
+  fnv.add(r.faulted);
   r.hash = fnv.h;
   return r;
 }
@@ -395,7 +433,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
   for (const Topo topo : opts.topos) {
     for (const Protocol proto : opts.protocols) {
       for (std::uint64_t s = 0; s < opts.seeds; ++s) {
-        cases.push_back(CaseConfig{opts.first_seed + s, topo, proto});
+        cases.push_back(CaseConfig{opts.first_seed + s, topo, proto, opts.faults});
       }
     }
   }

@@ -47,6 +47,11 @@ struct CaseConfig {
   std::uint64_t seed = 1;
   Topo topo = Topo::kLeafSpine;
   transport::Protocol proto = transport::Protocol::kAmrt;
+  // Draw a fault schedule (link flaps, blackhole windows, rate dips against
+  // switch egress ports) on top of the scenario. The fault draws extend the
+  // parameter stream *after* every pre-existing draw, so cases with faults
+  // off replay bit-identically to builds that predate fault injection.
+  bool faults = false;
 };
 
 struct CaseResult {
@@ -63,6 +68,7 @@ struct CaseResult {
   std::uint64_t events = 0;
   std::uint64_t drops = 0;
   std::uint64_t trims = 0;
+  std::uint64_t faulted = 0;  // packets eaten by injected faults (0 without --faults)
   std::uint64_t audit_violations = 0;  // always 0 in non-audit builds
 };
 
@@ -80,6 +86,7 @@ struct FuzzOptions {
   std::vector<transport::Protocol> protocols{
       transport::Protocol::kAmrt, transport::Protocol::kPhost, transport::Protocol::kHoma,
       transport::Protocol::kNdp};
+  bool faults = false;   // inject a drawn fault schedule into every case
   unsigned threads = 0;  // SweepRunner: 0 = one per hardware core
   // Called after each case (serialized), for progress/reporting.
   std::function<void(const CaseConfig&, const CaseResult&)> on_case;

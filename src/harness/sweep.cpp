@@ -116,6 +116,7 @@ void write_results_json(std::ostream& os, const std::vector<ExperimentConfig>& p
        << ",\"max_queue_pkts\":" << r.max_queue_pkts
        << ",\"drops\":" << r.drops
        << ",\"trims\":" << r.trims
+       << ",\"faulted\":" << r.faulted
        << ",\"bytes_delivered\":" << r.bytes_delivered
        << ",\"flows_started\":" << r.flows_started
        << ",\"flows_completed\":" << r.flows_completed

@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <stdexcept>
+
 namespace amrt::net {
 
 void Network::reserve(std::size_t n_hosts, std::size_t n_switches, std::size_t n_ports) {
@@ -66,6 +68,22 @@ PortId Network::attach_host(HostId host, SwitchId sw, std::unique_ptr<EgressQueu
   down.connect(*this, host_node, 0);
   if (down_marker) down.add_marker(std::move(down_marker));
   return pid;
+}
+
+void Network::set_link_up(PortId p, bool up) {
+  const auto slot = static_cast<std::size_t>(p);
+  if (slot >= ports_.size()) throw std::out_of_range("set_link_up: no such port");
+  if (link_state_.is_up(p) == up) return;
+  if (link_state_.up.size() < ports_.size()) link_state_.up.resize(ports_.size(), 1);
+  link_state_.up[slot] = up ? 1 : 0;
+  ++link_state_.epoch;
+  ports_[slot].set_link_up(up);
+}
+
+std::uint64_t Network::packets_faulted() const {
+  std::uint64_t n = 0;
+  for (const auto& port : ports_) n += port.packets_faulted();
+  return n;
 }
 
 std::string Network::label(NodeId id) const {

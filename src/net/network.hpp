@@ -102,6 +102,21 @@ class Network {
     }
   }
 
+  // --- fault control (src/fault's FaultInjector drives these) -------------
+  // Takes a link down/up: updates the port (down flushes its queue as
+  // faulted drops), and bumps the link-state epoch so every routing table
+  // recomputes its ECMP alive view. Idempotent per state.
+  void set_link_up(PortId p, bool up);
+  // Degrades (scale < 1) or restores (scale = 1) a port's line rate.
+  void set_port_rate_scale(PortId p, double scale) { port_at(p).set_rate_scale(scale); }
+  // Arms probabilistic blackholing at a port (covers control packets too).
+  void set_port_drop_prob(PortId p, double prob, std::uint64_t seed) {
+    port_at(p).set_drop_prob(prob, seed);
+  }
+  [[nodiscard]] const LinkState& link_state() const { return link_state_; }
+  // Sum of every port's fault-consumed packets (flushed + refused + blackholed).
+  [[nodiscard]] std::uint64_t packets_faulted() const;
+
   // Debug label for diagnostics ("h3" for host slot 3, "sw1" for switch
   // slot 1). Derived on demand; the pools store no strings.
   [[nodiscard]] std::string label(NodeId id) const;
@@ -126,6 +141,7 @@ class Network {
   std::vector<EgressPort> ports_;
   std::vector<std::unique_ptr<EgressQueue>> queues_;  // slot-parallel to ports_
   std::vector<NodeRef> dir_;                          // indexed by NodeId.value
+  LinkState link_state_;
   std::uint32_t next_id_ = 0;
 };
 

@@ -8,7 +8,11 @@
 namespace amrt::net {
 
 EgressPort::EgressPort(sim::Scheduler& sched, Config cfg, EgressQueue& queue)
-    : sched_{sched}, cfg_{cfg}, queue_{&queue}, jitter_rng_{cfg_.jitter_seed} {
+    : sched_{sched},
+      cfg_{cfg},
+      queue_{&queue},
+      jitter_rng_{cfg_.jitter_seed},
+      effective_rate_{cfg_.rate} {
   if (cfg_.rate.bits_per_second() <= 0) throw std::invalid_argument("EgressPort requires a positive rate");
 }
 
@@ -31,12 +35,53 @@ void EgressPort::add_marker(std::unique_ptr<DequeueMarker> marker) {
 }
 
 void EgressPort::enqueue(Packet&& pkt) {
+  if (!link_up_) [[unlikely]] {
+    eat_faulted(std::move(pkt), audit::DropReason::kLinkDown);
+    return;
+  }
+  if (drop_prob_ > 0.0 && fault_rng_.bernoulli(drop_prob_)) [[unlikely]] {
+    eat_faulted(std::move(pkt), audit::DropReason::kBlackhole);
+    return;
+  }
   queue_->enqueue(std::move(pkt));
   if (!busy()) {
     start_next_transmission();
   } else {
     ensure_wakeup();
   }
+}
+
+void EgressPort::eat_faulted(Packet&& pkt, audit::DropReason reason) {
+  ++packets_faulted_;
+#ifdef AMRT_AUDIT
+  if (auto* a = sched_.auditor()) a->on_drop(audit::info_of(pkt), reason);
+#endif
+  (void)pkt;
+  (void)reason;
+}
+
+void EgressPort::set_link_up(bool up) {
+  if (up == link_up_) return;
+  link_up_ = up;
+  // Going down spills the queue: those packets were committed to a link
+  // that no longer exists. The transmission already serializing (bits on
+  // the wire) is left to deliver — real links lose the queue, not photons.
+  if (!up) packets_faulted_ += queue_->flush_faulted();
+}
+
+void EgressPort::set_rate_scale(double scale) {
+  if (scale <= 0.0 || scale > 1.0) throw std::invalid_argument("rate scale must be in (0, 1]");
+  rate_scale_ = scale;
+  effective_rate_ =
+      sim::Bandwidth::bps(static_cast<std::int64_t>(static_cast<double>(cfg_.rate.bits_per_second()) * scale));
+  // The memoized serialization times were computed at the old rate.
+  tx_memo_bytes_[0] = tx_memo_bytes_[1] = -1;
+}
+
+void EgressPort::set_drop_prob(double prob, std::uint64_t seed) {
+  if (prob < 0.0 || prob > 1.0) throw std::invalid_argument("drop probability must be in [0, 1]");
+  drop_prob_ = prob;
+  if (prob > 0.0) fault_rng_ = sim::Rng{seed};
 }
 
 void EgressPort::ensure_wakeup() {
@@ -77,7 +122,9 @@ void EgressPort::start_next_transmission() {
   // skip the loop outright rather than pay its setup per packet.
   if (!markers_.empty()) {
     for (auto& marker : markers_) {
-      marker->on_dequeue(*next, tx_start, last_tx_end_, cfg_.rate);
+      // Markers measure against the actual draining rate, so Eq. 2's spare
+      // bandwidth stays honest when a fault degrades the link.
+      marker->on_dequeue(*next, tx_start, last_tx_end_, effective_rate_);
     }
   }
 

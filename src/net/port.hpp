@@ -58,6 +58,23 @@ class EgressPort {
   // transmitted in turn.
   void enqueue(Packet&& pkt);
 
+  // --- fault injection (src/fault drives these through Network) -----------
+  // Link down: the queue is flushed (faulted drops) and every subsequent
+  // enqueue is eaten until the link comes back. In-flight deliveries — bits
+  // already on the wire — still complete. Idempotent.
+  void set_link_up(bool up);
+  // Degrades (scale < 1) or restores (scale = 1) the serialization rate.
+  void set_rate_scale(double scale);
+  // Probabilistic blackholing at enqueue, covering control packets too (the
+  // "lossy control plane" lever). `seed` makes the per-port stream
+  // deterministic; prob <= 0 disarms it.
+  void set_drop_prob(double prob, std::uint64_t seed);
+  [[nodiscard]] bool link_up() const { return link_up_; }
+  [[nodiscard]] double rate_scale() const { return rate_scale_; }
+  [[nodiscard]] double drop_prob() const { return drop_prob_; }
+  // Packets this port's faults consumed (flushed, refused-down, blackholed).
+  [[nodiscard]] std::uint64_t packets_faulted() const { return packets_faulted_; }
+
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] const EgressQueue& queue() const { return *queue_; }
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
@@ -84,7 +101,7 @@ class EgressPort {
       std::swap(tx_memo_[0], tx_memo_[1]);
       return tx_memo_[0];
     }
-    const sim::Duration t = cfg_.rate.tx_time(bytes);
+    const sim::Duration t = effective_rate_.tx_time(bytes);
     tx_memo_bytes_[1] = tx_memo_bytes_[0];
     tx_memo_[1] = tx_memo_[0];
     tx_memo_bytes_[0] = bytes;
@@ -96,6 +113,8 @@ class EgressPort {
   // and the serializer is woken only when a packet is actually waiting.
   void ensure_wakeup();
   void on_wakeup();
+  // A fault consumed this packet before admission (link down / blackhole).
+  void eat_faulted(Packet&& pkt, audit::DropReason reason);
 
   sim::Scheduler& sched_;
   Config cfg_;
@@ -108,6 +127,14 @@ class EgressPort {
   NodeId peer_id_{};
   int peer_port_ = -1;
   sim::Rng jitter_rng_;
+  // Fault state (src/fault). effective_rate_ = cfg_.rate * rate_scale_, kept
+  // materialized so the healthy fast path pays nothing.
+  sim::Bandwidth effective_rate_;
+  double rate_scale_ = 1.0;
+  double drop_prob_ = 0.0;
+  bool link_up_ = true;
+  sim::Rng fault_rng_{0};
+  std::uint64_t packets_faulted_ = 0;
   std::int64_t tx_memo_bytes_[2] = {-1, -1};
   sim::Duration tx_memo_[2] = {sim::Duration::zero(), sim::Duration::zero()};
   sim::TimePoint busy_until_ = sim::TimePoint::zero();  // end of in-flight transmission

@@ -65,6 +65,11 @@ class EgressQueue {
   [[nodiscard]] QueueKind kind() const { return kind_; }
   [[nodiscard]] const QueueStats& stats() const { return stats_; }
 
+  // Link failure (src/fault): every queued packet — control band included —
+  // is discarded through the admitted-drop accounting, so the stats identity
+  // and the audit shadow stay closed. Returns the number of packets flushed.
+  inline std::size_t flush_faulted();
+
   // Attaches the run's invariant auditor under a dense shadow slot (Network
   // binds each arena queue with its port-pool slot; standalone tests pick
   // any small integer). A no-op in builds without AMRT_AUDIT.
@@ -377,6 +382,19 @@ inline std::optional<Packet> EgressQueue::dequeue() {
 #endif
   }
   return pkt;
+}
+
+inline std::size_t EgressQueue::flush_faulted() {
+  std::size_t flushed = 0;
+  while (!control_.empty()) {
+    drop_admitted(control_.pop_front(), audit::DropReason::kLinkDown);
+    ++flushed;
+  }
+  while (auto pkt = dispatch_dequeue()) {
+    drop_admitted(std::move(*pkt), audit::DropReason::kLinkDown);
+    ++flushed;
+  }
+  return flushed;
 }
 
 // Factory signature used by topology builders: experiments pick a discipline

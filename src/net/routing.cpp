@@ -35,7 +35,58 @@ void RoutingTable::compact() const {
     pool_.insert(pool_.end(), pending_[dst].begin(), pending_[dst].end());
   }
   cache_.fill(CacheSlot{});
+  view_entries_ = entries_.data();
+  view_pool_ = pool_.data();
+  view_size_ = entries_.size();
+  // Any past link transition invalidates this full view; resetting the seen
+  // epoch below the live one makes the next select() re-filter. Epoch 0
+  // (no transition ever) keeps the full view with no refresh.
+  seen_epoch_ = 0;
   dirty_ = false;
+}
+
+void RoutingTable::refresh_link_view() const {
+  seen_epoch_ = link_state_->epoch;
+  // Cached ECMP picks may point at ports that just died (or skip ports that
+  // just revived): flush wholesale, repopulated per flow on the next packet.
+  cache_.fill(CacheSlot{});
+  bool any_down = false;
+  for (const int p : pool_) {
+    if (!link_state_->is_up(p)) {
+      any_down = true;
+      break;
+    }
+  }
+  if (!any_down) {
+    view_entries_ = entries_.data();
+    view_pool_ = pool_.data();
+    view_size_ = entries_.size();
+    return;
+  }
+  alive_entries_.assign(entries_.size(), Entry{});
+  alive_pool_.clear();
+  alive_pool_.reserve(pool_.size());
+  for (std::size_t dst = 0; dst < entries_.size(); ++dst) {
+    const Entry& e = entries_[dst];
+    const auto offset = static_cast<std::uint32_t>(alive_pool_.size());
+    for (std::uint32_t i = 0; i < e.count; ++i) {
+      const int p = pool_[e.offset + i];
+      if (link_state_->is_up(p)) alive_pool_.push_back(p);
+    }
+    auto count = static_cast<std::uint32_t>(alive_pool_.size()) - offset;
+    if (count == 0 && e.count != 0) {
+      // Every path toward dst is dead. Keep the wired set: the dead egress
+      // port eats the packets (charged as faulted), the flow heals when a
+      // link returns, and a miswired fabric still dies via the count==0
+      // check in select().
+      for (std::uint32_t i = 0; i < e.count; ++i) alive_pool_.push_back(pool_[e.offset + i]);
+      count = e.count;
+    }
+    alive_entries_[dst] = Entry{offset, count, 0};
+  }
+  view_entries_ = alive_entries_.data();
+  view_pool_ = alive_pool_.data();
+  view_size_ = alive_entries_.size();
 }
 
 std::span<const int> RoutingTable::ports_for(NodeId dst) const {

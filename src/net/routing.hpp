@@ -24,6 +24,21 @@
 
 namespace amrt::net {
 
+// Fabric-wide link liveness, owned by Network and shared read-only with
+// every RoutingTable. The epoch bumps on each up/down transition; tables
+// compare it against the epoch they last compiled their alive view for and
+// refresh lazily, so the per-forward cost in a healthy run is one load and
+// one compare.
+struct LinkState {
+  std::vector<std::uint8_t> up;  // indexed by PortId; absent slots count as up
+  std::uint64_t epoch = 0;
+
+  [[nodiscard]] bool is_up(std::int32_t port) const {
+    const auto i = static_cast<std::size_t>(port);
+    return i >= up.size() || up[i] != 0;
+  }
+};
+
 // How multipath sets are used. Per-flow hashing (the default, used by every
 // experiment so all protocols compare on equal routing) keeps a flow on one
 // path; per-packet spraying (what real NDP deploys) round-robins every
@@ -45,17 +60,27 @@ class RoutingTable {
   void set_mode(MultipathMode mode) { mode_ = mode; }
   [[nodiscard]] MultipathMode mode() const { return mode_; }
 
+  // Subscribes this table to the fabric's link liveness (Network wires every
+  // switch at construction). When the state's epoch moves past the one the
+  // current view was compiled for, the next select() rebuilds an ECMP view
+  // restricted to live ports and flushes the route cache; healthy runs pay
+  // one epoch compare per forward.
+  void bind_link_state(const LinkState* ls) { link_state_ = ls; }
+
   // Picks the egress port for `pkt`. Unknown destinations are a wiring bug:
   // the process aborts with a diagnostic (use `require_route` at build time
   // to fail during setup instead of mid-run).
   [[nodiscard]] int select(const Packet& pkt) {
     if (dirty_) compact();
+    if (link_state_ != nullptr && link_state_->epoch != seen_epoch_) [[unlikely]] {
+      refresh_link_view();
+    }
     const std::uint32_t dst = pkt.dst.value;
-    if (dst >= entries_.size() || entries_[dst].count == 0) [[unlikely]] {
+    if (dst >= view_size_ || view_entries_[dst].count == 0) [[unlikely]] {
       die_unknown_destination(pkt.dst);
     }
-    Entry& e = entries_[dst];
-    const int* ports = pool_.data() + e.offset;
+    Entry& e = view_entries_[dst];
+    const int* ports = view_pool_ + e.offset;
     if (e.count == 1) return ports[0];
     if (mode_ == MultipathMode::kPacketSpray && pkt.type == PacketType::kData) {
       // Control packets stay on the flow's hashed path so grant clocks are
@@ -103,6 +128,11 @@ class RoutingTable {
   }
 
   void compact() const;
+  // Rebuilds the live-port view after a link-state transition (cold: runs
+  // once per epoch change, not per packet). If every port toward some
+  // destination is down the wired set is kept — packets then charge the
+  // dead port's `faulted` counter instead of aborting the run.
+  void refresh_link_view() const;
   [[noreturn]] static void die_unknown_destination(NodeId dst);
 
   // Build-side: per-destination port lists as added. The compiled (dense)
@@ -114,6 +144,18 @@ class RoutingTable {
   // Compiled fast path, rebuilt by compact().
   mutable std::vector<Entry> entries_;
   mutable std::vector<int> pool_;
+
+  // The view select() reads: the full tables above, or (between a link
+  // transition and full recovery) the filtered alive_* copies. Raw pointers
+  // are re-derived by compact()/refresh_link_view() whenever the backing
+  // vectors change shape.
+  mutable Entry* view_entries_ = nullptr;
+  mutable const int* view_pool_ = nullptr;
+  mutable std::size_t view_size_ = 0;
+  mutable std::vector<Entry> alive_entries_;
+  mutable std::vector<int> alive_pool_;
+  mutable std::uint64_t seen_epoch_ = 0;
+  const LinkState* link_state_ = nullptr;
 
   mutable std::array<CacheSlot, kCacheSlots> cache_{};
   MultipathMode mode_ = MultipathMode::kPerFlowEcmp;

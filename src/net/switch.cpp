@@ -4,7 +4,11 @@
 
 namespace amrt::net {
 
-Switch::Switch(Network& net, NodeId id) : Node{id}, net_{&net} {}
+Switch::Switch(Network& net, NodeId id) : Node{id}, net_{&net} {
+  // Every switch forwards against the fabric-wide link liveness so injected
+  // link failures reroute ECMP traffic (see RoutingTable::bind_link_state).
+  routes_.bind_link_state(&net.link_state());
+}
 
 int Switch::adopt_port(PortId port) {
   port_slots_.push_back(port);

@@ -35,6 +35,34 @@ struct TransportConfig {
   sim::Duration loss_timeout = sim::Duration::zero();
   std::uint32_t recovery_batch = 8;  // max seqs re-requested per timeout
 
+  // --- control-plane loss hardening (DESIGN.md §11) -----------------------
+  // The paper assumes a lossless control plane; under fault injection RTS,
+  // grant and Done packets can vanish, so each control dependency gets a
+  // bounded backstop. All windows are multiples of the loss timeout (rto).
+  //
+  // Sender RTS backstop: until the first grant/Done arrives, the RTS is
+  // resent with exponential backoff (first after 2x rto, doubling, capped at
+  // 8x rto) up to this many times; 0 disables the retry. The cumulative
+  // window (~54x rto) stays below the finished-id retention below so a
+  // Done-less retry still finds the receiver's finished record.
+  std::uint32_t rts_retry_limit = 8;
+  // Sender teardown: once every byte has been sent at least once and no
+  // grant has been heard for this many rtos, the sender forgets the flow (a
+  // lost Done otherwise leaks the state forever).
+  std::uint32_t sender_linger_rtos = 64;
+  // Receiver abandon: a flow the receiver is owed packets on (granted or
+  // announced, never arrived) with no arrival for this many rtos is dropped
+  // (its sender is gone — crashed, torn down, or unresponsive with the
+  // retry budget spent). Flows whose every expected packet landed are
+  // exempt: they are merely unscheduled, which Homa's overcommitment makes
+  // arbitrarily long. Must exceed sender_linger_rtos so a merely-idle
+  // sender is not abandoned first.
+  std::uint32_t receiver_abandon_rtos = 128;
+  // Finished-flow ids are kept for two epochs of this many rtos each (see
+  // the finished_rcv_ compaction in receiver_driven.cpp) before stale-
+  // retransmission filtering forgets them.
+  std::uint32_t finished_epoch_rtos = 64;
+
   // Homa: number of messages granted concurrently (degree of overcommitment)
   // and the number of switch priority levels.
   int homa_overcommit = 2;

@@ -1,6 +1,7 @@
 #include "transport/receiver_driven.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "sim/trace.hpp"
 
@@ -38,21 +39,90 @@ void ReceiverDrivenEndpoint::start_flow(const FlowSpec& spec) {
   if (observer_ != nullptr) observer_->on_flow_started(spec.id, spec.bytes, sched_.now());
 
   // Announce the flow so the receiver can schedule it (pHost RTS, Homa's
-  // message header, NDP's first-window header all play this role).
-  Packet rts;
-  rts.flow = spec.id;
-  rts.type = PacketType::kRts;
-  rts.wire_bytes = net::kCtrlBytes;
-  rts.src = host_.id();
-  rts.dst = spec.dst;
-  rts.flow_bytes = spec.bytes;
-  rts.created = sched_.now();
-  send(std::move(rts));
+  // message header, NDP's first-window header all play this role). The RTS
+  // can be lost, so until the receiver is heard from it is re-announced on a
+  // backstop timer, and the whole flow record is reclaimed by the linger
+  // timer if the control plane stays silent (DESIGN.md §11).
+  send_rts(flow);
+  flow.last_heard = sched_.now();
+  if (cfg_.rts_retry_limit > 0) arm_rts_retry(flow);
+  if (cfg_.sender_linger_rtos > 0) arm_linger(flow, rto_ * cfg_.sender_linger_rtos);
 
   if (cfg_.responsive && cfg_.unscheduled_start) {
     const auto window = std::min<std::uint32_t>(cfg_.bdp_packets(), total);
     send_new_packets(flow, window);
   }
+}
+
+void ReceiverDrivenEndpoint::send_rts(const SenderFlow& flow) {
+  Packet rts;
+  rts.flow = flow.spec.id;
+  rts.type = PacketType::kRts;
+  rts.wire_bytes = net::kCtrlBytes;
+  rts.src = host_.id();
+  rts.dst = flow.spec.dst;
+  rts.flow_bytes = flow.spec.bytes;
+  rts.created = sched_.now();
+  send(std::move(rts));
+}
+
+sim::Duration ReceiverDrivenEndpoint::rts_retry_delay(const SenderFlow& flow) const {
+  // Flows whose unscheduled burst also announces them only need the RTS if
+  // *everything* was lost, so they retry lazily — late enough that a healthy
+  // congested run never fires one. Pure-RTS flows (unresponsive senders,
+  // unscheduled_start off) retry with exponential backoff: until the RTS
+  // lands the receiver does not know the flow exists at all.
+  const bool announced_by_data = cfg_.responsive && cfg_.unscheduled_start;
+  const std::uint32_t first = announced_by_data ? 16 : 2;
+  const std::uint32_t cap = announced_by_data ? 16 : 8;
+  const std::uint32_t shift = std::min<std::uint32_t>(flow.rts_tries, 8);
+  return rto_ * std::min<std::uint32_t>(cap, first << shift);
+}
+
+void ReceiverDrivenEndpoint::arm_rts_retry(SenderFlow& flow) {
+  flow.rts_timer =
+      sched_.after(rts_retry_delay(flow), [this, id = flow.spec.id] { rts_retry_fire(id); });
+}
+
+void ReceiverDrivenEndpoint::rts_retry_fire(net::FlowId id) {
+  SenderFlow* flow = snd_.find(id);
+  if (flow == nullptr || flow->heard) return;
+  if (flow->rts_tries >= cfg_.rts_retry_limit) return;  // budget spent; linger reclaims
+  ++flow->rts_tries;
+  send_rts(*flow);
+  arm_rts_retry(*flow);
+}
+
+void ReceiverDrivenEndpoint::arm_linger(SenderFlow& flow, sim::Duration delay) {
+  flow.linger_timer =
+      sched_.after(delay, [this, id = flow.spec.id] { linger_fire(id); });
+}
+
+void ReceiverDrivenEndpoint::linger_fire(net::FlowId id) {
+  SenderFlow* flow = snd_.find(id);
+  if (flow == nullptr) return;
+  const sim::Duration window = rto_ * cfg_.sender_linger_rtos;
+  // A responsive sender still holding unsent bytes is waiting on the
+  // receiver's scheduler, not on a lost control packet: Homa parks
+  // beyond-overcommitment messages in exactly this state for arbitrarily
+  // long (SRPT starvation), so silence alone must not tear the flow down.
+  // The countdown applies once every byte has been sent at least once;
+  // unresponsive senders ignore credit and so are always eligible.
+  if (cfg_.responsive && flow->next_new_seq < flow->total_pkts) {
+    arm_linger(*flow, window);
+    return;
+  }
+  const auto idle = sched_.now() - flow->last_heard;
+  if (idle < window) {
+    arm_linger(*flow, window - idle);
+    return;
+  }
+  // The control plane has been silent for the whole linger window: the Done
+  // was lost, the receiver abandoned the flow, or the fabric ate every
+  // grant. The receiver's own backstops re-pull anything it still wants;
+  // holding the sender record forever is a leak, so forget it.
+  flow->rts_timer.cancel();
+  snd_.erase(id);
 }
 
 void ReceiverDrivenEndpoint::send_new_packets(SenderFlow& flow, std::uint32_t count) {
@@ -95,7 +165,15 @@ void ReceiverDrivenEndpoint::handle_grant_packet(SenderFlow& flow, const Packet&
 
 void ReceiverDrivenEndpoint::on_grant(Packet&& pkt) {
   SenderFlow* flow = snd_.find(pkt.flow);
-  if (flow == nullptr) return;   // flow already torn down
+  if (flow == nullptr) return;  // flow already torn down
+  // Any grant proves the receiver knows the flow: stop re-announcing and
+  // refresh the linger clock. This happens even for unresponsive senders —
+  // the control path working is separate from whether data follows.
+  if (!flow->heard) {
+    flow->heard = true;
+    flow->rts_timer.cancel();
+  }
+  flow->last_heard = sched_.now();
   if (!cfg_.responsive) return;  // Fig. 14: unresponsive senders ignore credit
   flow->sched_priority = pkt.priority;
 #ifdef AMRT_AUDIT
@@ -113,7 +191,13 @@ void ReceiverDrivenEndpoint::on_grant(Packet&& pkt) {
 #endif
 }
 
-void ReceiverDrivenEndpoint::on_done(Packet&& pkt) { snd_.erase(pkt.flow); }
+void ReceiverDrivenEndpoint::on_done(Packet&& pkt) {
+  SenderFlow* flow = snd_.find(pkt.flow);
+  if (flow == nullptr) return;
+  flow->rts_timer.cancel();
+  flow->linger_timer.cancel();
+  snd_.erase(pkt.flow);
+}
 
 // ---------------------------------------------------------------------------
 // Receiver side
@@ -124,7 +208,7 @@ ReceiverDrivenEndpoint::ReceiverFlow* ReceiverDrivenEndpoint::ensure_registered(
   // the handle is then threaded through after_arrival/issue_credits, so the
   // whole arrival chain touches the flow table exactly once.
   if (ReceiverFlow* open = rcv_.find(pkt.flow)) return open;
-  if (finished_rcv_.contains(pkt.flow)) return nullptr;
+  if (is_finished(pkt.flow)) return nullptr;
   auto [slot, inserted] = rcv_.try_emplace(pkt.flow);
   ReceiverFlow& flow = *slot;
   if (inserted) {
@@ -156,24 +240,35 @@ net::Packet ReceiverDrivenEndpoint::make_grant(const ReceiverFlow& flow) const {
 }
 
 std::uint32_t ReceiverDrivenEndpoint::grant_new(ReceiverFlow& flow, std::uint32_t count, bool marked) {
-  const auto remaining = flow.remaining_ungranted();
+  auto remaining = flow.remaining_ungranted();
   const auto credits = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(count, remaining));
   if (credits == 0) return 0;
-  flow.granted_new += credits;
+  // The wire allowance field is 16 bits. A credit burst beyond 65535 (a
+  // recovery nudge against a multi-GB flow) is chunked across several grant
+  // packets; truncating the cast would wrap and silently strand the rest of
+  // the flow. Marked AMRT grants carry at most amrt_marked_allowance (2)
+  // credits, so they are always a single chunk.
+  std::uint32_t left = credits;
+  while (left > 0) {
+    const auto chunk = std::min<std::uint32_t>(left, 65535U);
+    flow.granted_new += chunk;
 #ifdef AMRT_AUDIT
-  if (auto* a = sched_.auditor()) {
-    // A marked AMRT grant must carry exactly the configured allowance (the
-    // paper's "send one more"), clamped only by what is left to grant.
-    a->on_grant_sent(flow.id, marked, credits,
-                     static_cast<std::uint64_t>(flow.unscheduled_pkts) + flow.granted_new,
-                     flow.total_pkts, remaining, marked ? cfg_.amrt_marked_allowance : 0);
-  }
+    if (auto* a = sched_.auditor()) {
+      // A marked AMRT grant must carry exactly the configured allowance (the
+      // paper's "send one more"), clamped only by what is left to grant.
+      a->on_grant_sent(flow.id, marked, chunk,
+                       static_cast<std::uint64_t>(flow.unscheduled_pkts) + flow.granted_new,
+                       flow.total_pkts, remaining, marked ? cfg_.amrt_marked_allowance : 0);
+    }
 #endif
-  Packet grant = make_grant(flow);
-  grant.allowance = static_cast<std::uint16_t>(credits);
-  grant.marked_grant = marked;
-  send(std::move(grant));
+    remaining -= chunk;
+    Packet grant = make_grant(flow);
+    grant.allowance = static_cast<std::uint16_t>(chunk);
+    grant.marked_grant = marked;
+    send(std::move(grant));
+    left -= chunk;
+  }
   return credits;
 }
 
@@ -234,6 +329,22 @@ std::optional<std::uint32_t> ReceiverDrivenEndpoint::pop_due_repair(ReceiverFlow
   return std::nullopt;
 }
 
+std::optional<std::uint32_t> ReceiverDrivenEndpoint::pop_due_suspect(ReceiverFlow& flow) {
+  while (!flow.suspect_q.empty()) {
+    const RepairEntry e = flow.suspect_q.front();
+    if (flow.seqs.got(e.seq)) {  // it was queued after all, not lost
+      flow.suspect_q.pop_front();
+      flow.seqs.clear_repair(e.seq);
+      continue;
+    }
+    if (e.eligible_at > sched_.now()) return std::nullopt;
+    flow.suspect_q.pop_front();
+    flow.suspect_q.push_back(RepairEntry{e.seq, sched_.now() + rto_});
+    return e.seq;
+  }
+  return std::nullopt;
+}
+
 std::uint32_t ReceiverDrivenEndpoint::grant_new_credits(ReceiverFlow& flow, std::uint32_t count,
                                                         bool marked) {
   return grant_new(flow, count, marked);
@@ -274,7 +385,21 @@ bool ReceiverDrivenEndpoint::wants_credit(ReceiverFlow& flow) {
 
 void ReceiverDrivenEndpoint::on_rts(Packet&& pkt) {
   ReceiverFlow* flow = ensure_registered(pkt);
-  if (flow == nullptr) return;
+  if (flow == nullptr) {
+    // The flow already finished but the sender is still announcing it: the
+    // Done was lost. Resend it so the sender's retry/linger backstops stand
+    // down. Only an RTS triggers this — stale *data* duplicates are routine
+    // in healthy runs and must not generate control traffic.
+    Packet done;
+    done.flow = pkt.flow;
+    done.type = PacketType::kDone;
+    done.wire_bytes = net::kCtrlBytes;
+    done.src = host_.id();
+    done.dst = pkt.src;
+    done.created = sched_.now();
+    send(std::move(done));
+    return;
+  }
   // An RTS is an announcement, not an arrival: it must not reset the
   // stall detector, or unresponsive senders would never look stalled.
   after_arrival(*flow, pkt, false);
@@ -294,8 +419,26 @@ void ReceiverDrivenEndpoint::finish_receive(ReceiverFlow& flow) {
   done.type = PacketType::kDone;
   send(std::move(done));
   if (observer_ != nullptr) observer_->on_flow_completed(flow.id, sched_.now());
-  finished_rcv_.insert(flow.id);
+  remember_finished(flow.id);
   rcv_.erase(flow.id);
+}
+
+void ReceiverDrivenEndpoint::remember_finished(net::FlowId id) {
+  // Two-generation compaction of the finished-id filter. Rotation is lazy
+  // (on the insert path, no standing timer — runs must drain naturally):
+  // once the current epoch is over, the current generation becomes the old
+  // one and the previous old generation is dropped. An id therefore
+  // survives between one and two epochs, long enough to outlast every
+  // sender backstop (linger < epoch by config contract).
+  const sim::Duration epoch = rto_ * std::max<std::uint32_t>(cfg_.finished_epoch_rtos, 1);
+  if (finished_epoch_end_ == sim::TimePoint{}) {
+    finished_epoch_end_ = sched_.now() + epoch;
+  } else if (sched_.now() >= finished_epoch_end_) {
+    std::swap(finished_prev_, finished_rcv_);
+    finished_rcv_.clear();
+    finished_epoch_end_ = sched_.now() + epoch;
+  }
+  finished_rcv_.insert(id);
 }
 
 // ---------------------------------------------------------------------------
@@ -334,19 +477,49 @@ void ReceiverDrivenEndpoint::recovery_fire(net::FlowId id) {
     return;
   }
 
+  // Abandon: nothing has arrived for a long multiple of the timeout — the
+  // sender is gone (crashed, reclaimed by its own linger backstop, or
+  // unresponsive with the RTS budget spent). Dropping the record bounds
+  // receiver state and lets the run drain; a late retransmission would
+  // simply re-register the flow. Only flows the receiver is actually owed
+  // packets on qualify: a flow whose every expected packet landed is merely
+  // unscheduled (a Homa message parked outside the overcommitment set), and
+  // abandoning it would strand a perfectly healthy sender.
+  if (cfg_.receiver_abandon_rtos > 0 && idle >= rto_ * cfg_.receiver_abandon_rtos &&
+      flow.received_pkts < expected_sent_pkts(flow)) {
+    rcv_.erase(id);
+    return;
+  }
+
+  // Feed every missing sequence below the expected horizon through the
+  // shared repair bookkeeping (pending bit + suspect queue). mark_repair
+  // dedupes: a seq the in-band path already re-requested keeps its single
+  // repair_q entry and its retry window, instead of being re-requested in
+  // parallel. Suspects carry no arrival-side evidence of loss — with the
+  // AMRT timeout at a single base RTT, "expected but not arrived" is
+  // routinely a queued packet — so they get an extra rto of grace to land,
+  // and only this backstop (never the in-band credit path) requests them,
+  // at most a batch per fire under the stall backoff.
   const std::uint32_t horizon = expected_sent_pkts(flow);
-  std::uint32_t requested = 0;
-  for (std::uint32_t seq = flow.scan_cursor; seq < horizon && requested < cfg_.recovery_batch;
-       ++seq) {
+  for (std::uint32_t seq = flow.scan_cursor; seq < horizon; ++seq) {
     if (flow.seqs.got(seq)) {
       if (seq == flow.scan_cursor) ++flow.scan_cursor;  // advance past the received prefix
       continue;
     }
+    if (flow.seqs.mark_repair(seq)) {
+      flow.suspect_q.push_back(RepairEntry{seq, sched_.now() + rto_});
+    }
+  }
+  std::uint32_t requested = 0;
+  while (requested < cfg_.recovery_batch) {
+    auto repair = pop_due_repair(flow);
+    if (!repair) repair = pop_due_suspect(flow);
+    if (!repair) break;
 #ifdef AMRT_AUDIT
-    if (auto* a = sched_.auditor()) a->on_repair_grant(flow.id, seq, flow.total_pkts);
+    if (auto* a = sched_.auditor()) a->on_repair_grant(flow.id, *repair, flow.total_pkts);
 #endif
     Packet grant = make_grant(flow);
-    grant.request_seq = seq;
+    grant.request_seq = static_cast<std::int64_t>(*repair);
     grant.allowance = 0;
     send(std::move(grant));
     ++requested;

@@ -39,6 +39,15 @@ class ReceiverDrivenEndpoint : public TransportEndpoint {
     std::uint32_t next_new_seq = 0;   // next never-sent sequence number
     std::uint8_t sched_priority = 0;  // Homa: priority carried by granted data
     std::uint64_t packets_sent = 0;   // includes retransmissions
+    // Control-plane backstops (DESIGN.md §11). `heard` flips on the first
+    // grant/Done from the receiver and silences the RTS retry; `last_heard`
+    // feeds the linger teardown that reclaims the flow when the control
+    // plane goes permanently silent (e.g. a lost Done).
+    bool heard = false;
+    std::uint32_t rts_tries = 0;
+    sim::TimePoint last_heard{};
+    sim::Scheduler::Handle rts_timer{};
+    sim::Scheduler::Handle linger_timer{};
   };
 
   // A sequence number presumed lost: requested again when `eligible_at`
@@ -72,6 +81,12 @@ class ReceiverDrivenEndpoint : public TransportEndpoint {
     // here (not in a side map) so an arrival touches one flow record, period.
     std::uint32_t pending_new_pulls = 0;
     net::RingDeque<RepairEntry> repair_q;
+    // Timeout-scan suspects: granted-but-silent seqs with no arrival-side
+    // evidence of loss (often just queued, not lost — the AMRT timeout is a
+    // single base RTT). Only the recovery backstop drains this queue, at
+    // most a batch per fire; the in-band credit path must not amplify them
+    // into duplicate retransmissions.
+    net::RingDeque<RepairEntry> suspect_q;
 
     [[nodiscard]] std::uint64_t remaining_ungranted() const {
       const std::uint64_t base = static_cast<std::uint64_t>(unscheduled_pkts) + granted_new;
@@ -134,8 +149,19 @@ class ReceiverDrivenEndpoint : public TransportEndpoint {
   util::FlatMap<net::FlowId, SenderFlow> snd_;
   util::FlatMap<net::FlowId, ReceiverFlow> rcv_;
 
-  // Receiver flows seen to completion; stale retransmissions are ignored.
+  // Receiver flows seen to completion; stale retransmissions are ignored and
+  // a stale RTS gets the Done resent (the original may have been lost). Two
+  // generations, rotated lazily every finished_epoch_rtos x rto on the
+  // insert path: lookups check both, inserts go to the current one, so an id
+  // is remembered for at least one full epoch and at most two — the set
+  // cannot grow without bound across long runs.
   util::FlatSet<net::FlowId> finished_rcv_;
+  util::FlatSet<net::FlowId> finished_prev_;
+  sim::TimePoint finished_epoch_end_{};
+
+  [[nodiscard]] bool is_finished(net::FlowId id) const {
+    return finished_rcv_.contains(id) || finished_prev_.contains(id);
+  }
 
  private:
   void on_data(net::Packet&& pkt) final;
@@ -143,12 +169,22 @@ class ReceiverDrivenEndpoint : public TransportEndpoint {
   void on_grant(net::Packet&& pkt) final;
   void on_done(net::Packet&& pkt) final;
 
+  // --- sender control-plane backstops (DESIGN.md §11) ---------------------
+  void send_rts(const SenderFlow& flow);
+  [[nodiscard]] sim::Duration rts_retry_delay(const SenderFlow& flow) const;
+  void arm_rts_retry(SenderFlow& flow);
+  void rts_retry_fire(net::FlowId id);
+  void arm_linger(SenderFlow& flow, sim::Duration delay);
+  void linger_fire(net::FlowId id);
+
   ReceiverFlow* ensure_registered(const net::Packet& pkt);
   void finish_receive(ReceiverFlow& flow);
+  void remember_finished(net::FlowId id);
   void arm_recovery(ReceiverFlow& flow, sim::Duration delay);
   void recovery_fire(net::FlowId id);
   void detect_losses(ReceiverFlow& flow);
   [[nodiscard]] std::optional<std::uint32_t> pop_due_repair(ReceiverFlow& flow);
+  [[nodiscard]] std::optional<std::uint32_t> pop_due_suspect(ReceiverFlow& flow);
 
   Protocol proto_;
   sim::Duration rto_;

@@ -1,0 +1,351 @@
+// Fault-injection tests (DESIGN.md §11): transports must survive link flaps,
+// blackhole windows and rate dips with every flow completing and the audit
+// ledger closed — plus one regression per control-plane hardening fix (lost
+// RTS, lost Done, 16-bit grant truncation, duplicate repair requests).
+#include <gtest/gtest.h>
+
+#include "audit/hooks.hpp"
+#include "fault/fault.hpp"
+#include "test_rig.hpp"
+
+using namespace amrt;
+using namespace amrt::sim::literals;
+using amrt::testutil::DumbbellRig;
+using amrt::testutil::RigOptions;
+using transport::Protocol;
+
+namespace {
+
+std::string proto_name(const ::testing::TestParamInfo<Protocol>& info) {
+  return transport::to_string(info.param);
+}
+
+// Runs a short drain window, then asserts the conservation ledger closed
+// (no-op without AMRT_AUDIT — the stub reports zero violations).
+void expect_audit_clean(DumbbellRig& rig) {
+  rig.sched().run_until(rig.sched().now() + 5_ms);
+  rig.sim().auditor().check_drained();
+  EXPECT_EQ(rig.sim().auditor().violation_count(), 0u);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FaultPlan structural validation
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, BuildersProduceBoundedPlansThatValidate) {
+  fault::FaultPlan plan;
+  plan.flap(0, sim::TimePoint::zero() + 1_ms, 500_us);
+  plan.rate_dip(1, sim::TimePoint::zero(), 0.25, 2_ms);
+  plan.blackhole(2, sim::TimePoint::zero() + 3_ms, 0.9, 1_ms);
+  EXPECT_EQ(plan.size(), 6u);  // every perturbation schedules its restore
+  EXPECT_NO_THROW(plan.validate(8));
+}
+
+TEST(FaultPlan, UnboundedOutageRejected) {
+  fault::FaultPlan plan;
+  plan.add({sim::TimePoint::zero(), 0, fault::FaultKind::kLinkDown, 0.0});
+  EXPECT_THROW(plan.validate(8), std::invalid_argument);
+}
+
+TEST(FaultPlan, UnrestoredRateAndProbRejected) {
+  fault::FaultPlan dip;
+  dip.add({sim::TimePoint::zero(), 0, fault::FaultKind::kRateScale, 0.5});
+  EXPECT_THROW(dip.validate(8), std::invalid_argument);
+  fault::FaultPlan hole;
+  hole.add({sim::TimePoint::zero(), 0, fault::FaultKind::kDropProb, 0.5});
+  EXPECT_THROW(hole.validate(8), std::invalid_argument);
+}
+
+TEST(FaultPlan, OutOfRangeValuesRejected) {
+  fault::FaultPlan plan;
+  plan.rate_dip(0, sim::TimePoint::zero(), 1.5, 1_ms);  // scale > 1
+  EXPECT_THROW(plan.validate(8), std::invalid_argument);
+  fault::FaultPlan port_plan;
+  port_plan.flap(9, sim::TimePoint::zero(), 1_ms);  // port outside the pool
+  EXPECT_THROW(port_plan.validate(8), std::invalid_argument);
+}
+
+TEST(FaultPlan, DrawnPlansAreBoundedAndDeterministic) {
+  const std::vector<std::int32_t> ports{0, 1, 2, 3};
+  auto draw_once = [&] {
+    fault::FaultPlan plan;
+    sim::Rng rng{42};
+    plan.draw(rng, ports, 20_us, 16);
+    plan.validate(4);  // every drawn incident must restore itself
+    return plan.events().size();
+  };
+  const auto n = draw_once();
+  EXPECT_EQ(n, 32u);  // 16 incidents, each one perturbation + one restore
+  EXPECT_EQ(n, draw_once());
+}
+
+// ---------------------------------------------------------------------------
+// Fault scenarios across all four transports: completion, bounded FCT, and
+// a closed audit ledger despite injected loss.
+// ---------------------------------------------------------------------------
+
+class FaultScenarios : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(FaultScenarios, HardLinkFailureHealsAndCompletes) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.pairs = 2;
+  DumbbellRig rig{opt};
+  fault::FaultPlan plan;
+  plan.flap(rig.s0().port_id(0), sim::TimePoint::zero() + 100_us, 500_us);
+  fault::FaultInjector injector{rig.network(), std::move(plan)};
+  injector.arm();
+
+  rig.start_flow(1, 0, 300'000);
+  rig.start_flow(2, 1, 300'000);
+  ASSERT_TRUE(rig.run_to_completion(2, 2_s)) << "flows must survive the outage";
+  EXPECT_EQ(injector.stats().link_transitions, 2u);
+  // The flush on link-down plus arrivals while dark are charged as faulted.
+  EXPECT_GT(rig.network().packets_faulted(), 0u);
+  for (const auto& rec : rig.recorder().completed()) EXPECT_LT(rec.fct(), 1'500_ms);
+  expect_audit_clean(rig);
+}
+
+TEST_P(FaultScenarios, FlappingLinkCompletes) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.pairs = 2;
+  DumbbellRig rig{opt};
+  const auto rto = rig.tcfg().default_loss_timeout(opt.proto);
+  fault::FaultPlan plan;
+  for (int i = 0; i < 3; ++i) {
+    plan.flap(rig.s0().port_id(0), sim::TimePoint::zero() + rto * (2 + 6 * i), rto * 3);
+  }
+  fault::FaultInjector injector{rig.network(), std::move(plan)};
+  injector.arm();
+
+  rig.start_flow(1, 0, 200'000);
+  rig.start_flow(2, 1, 200'000);
+  ASSERT_TRUE(rig.run_to_completion(2, 2_s));
+  // Fast transports can finish before the later flaps; the drain inside
+  // expect_audit_clean runs the clock past them so every event fires.
+  expect_audit_clean(rig);
+  EXPECT_EQ(injector.stats().link_transitions, 6u);
+}
+
+TEST_P(FaultScenarios, BlackholeWindowCompletes) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.pairs = 2;
+  DumbbellRig rig{opt};
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.blackhole(rig.s0().port_id(0), sim::TimePoint::zero() + 50_us, 0.5, 400_us);
+  fault::FaultInjector injector{rig.network(), std::move(plan)};
+  injector.arm();
+
+  rig.start_flow(1, 0, 300'000);
+  rig.start_flow(2, 1, 300'000);
+  ASSERT_TRUE(rig.run_to_completion(2, 2_s));
+  EXPECT_GT(rig.network().packets_faulted(), 0u);
+  expect_audit_clean(rig);
+}
+
+TEST_P(FaultScenarios, RateDipSlowsButCompletes) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  DumbbellRig rig{opt};
+  fault::FaultPlan plan;
+  plan.rate_dip(rig.s0().port_id(0), sim::TimePoint::zero(), 0.25, 1_ms);
+  fault::FaultInjector injector{rig.network(), std::move(plan)};
+  injector.arm();
+
+  rig.start_flow(1, 0, 500'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 2_s));
+  // A rate dip degrades, it never destroys: nothing may be charged faulted.
+  EXPECT_EQ(rig.network().packets_faulted(), 0u);
+  // 500KB at the dipped 2.5Gbps would take ~1.7ms; full rate ~0.43ms. The
+  // flow must land between "unaffected" and "stuck until the deadline".
+  EXPECT_GT(rig.recorder().completed().at(0).fct(), 500_us);
+  EXPECT_LT(rig.recorder().completed().at(0).fct(), 100_ms);
+  expect_audit_clean(rig);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, FaultScenarios,
+                         ::testing::ValuesIn(testutil::kAllProtocols), proto_name);
+
+// ---------------------------------------------------------------------------
+// Regression: lost RTS must not deadlock the flow (sender-side retry).
+// ---------------------------------------------------------------------------
+
+class ControlLoss : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ControlLoss, LostRtsRetriedInsteadOfDeadlocking) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.unscheduled = false;  // pure-RTS flow: the announcement is all there is
+  DumbbellRig rig{opt};
+  const auto rto = rig.tcfg().default_loss_timeout(opt.proto);
+  // Eat everything on the forward path long enough to kill the initial RTS;
+  // the first sender retry (2x rto for pure-RTS flows) lands after restore.
+  fault::FaultPlan plan;
+  plan.blackhole(rig.s0().port_id(0), sim::TimePoint::zero(), 1.0, rto);
+  fault::FaultInjector injector{rig.network(), std::move(plan)};
+  injector.arm();
+
+  rig.start_flow(1, 0, 100'000);
+  // Without the retry the receiver never learns the flow exists: deadlock.
+  ASSERT_TRUE(rig.run_to_completion(1, 1_s)) << "lost RTS must be re-announced";
+  expect_audit_clean(rig);
+}
+
+TEST_P(ControlLoss, LostDoneRecoveredByRtsProbe) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  DumbbellRig rig{opt};
+  const auto rto = rig.tcfg().default_loss_timeout(opt.proto);
+  // Single-packet flow: delivered blind, so the Done is the only control
+  // packet the sender will ever hear. Eat the reverse path past the first
+  // RTS retry (16x rto); the retry at 32x rto finds the flow finished and
+  // the receiver resends the Done.
+  fault::FaultPlan plan;
+  plan.blackhole(rig.s1().port_id(0), sim::TimePoint::zero(), 1.0, rto * 20);
+  fault::FaultInjector injector{rig.network(), std::move(plan)};
+  injector.arm();
+
+  rig.start_flow(1, 0, 1'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 1_s));
+  rig.sched().run_until(sim::TimePoint::zero() + rto * 40);
+  EXPECT_EQ(rig.sender_ep(0).open_sender_flows(), 0u)
+      << "resent Done must tear the sender down";
+  expect_audit_clean(rig);
+}
+
+TEST_P(ControlLoss, LostDoneBeyondRetriesReclaimedByLinger) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  DumbbellRig rig{opt};
+  const auto rto = rig.tcfg().default_loss_timeout(opt.proto);
+  // Reverse path dark past the linger window (64x rto): every Done and
+  // every resent Done dies, and the sender must eventually give up on its
+  // own — before this fix the flow record leaked forever.
+  fault::FaultPlan plan;
+  plan.blackhole(rig.s1().port_id(0), sim::TimePoint::zero(), 1.0, rto * 70);
+  fault::FaultInjector injector{rig.network(), std::move(plan)};
+  injector.arm();
+
+  rig.start_flow(1, 0, 1'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 1_s));
+  rig.sched().run_until(sim::TimePoint::zero() + rto * 80);
+  EXPECT_EQ(rig.sender_ep(0).open_sender_flows(), 0u)
+      << "linger backstop must reclaim the silent flow";
+  expect_audit_clean(rig);
+}
+
+TEST_P(ControlLoss, AbandonedSenderDoesNotLeakReceiverState) {
+  RigOptions opt;
+  opt.proto = GetParam();
+  opt.responsive = false;  // announces the flow, never sends a byte
+  DumbbellRig rig{opt};
+  const auto rto = rig.tcfg().default_loss_timeout(opt.proto);
+  rig.start_flow(1, 0, 100'000);
+  // receiver_abandon_rtos (128) of silence — reached after the RTS retry
+  // budget (~8 rtos of probes) — then the sender's linger window (64 rtos)
+  // on top: the teardown chain can land right at 200 rtos, so leave slack.
+  rig.sched().run_until(sim::TimePoint::zero() + rto * 240);
+  EXPECT_EQ(rig.receiver_ep(0).open_receiver_flows(), 0u)
+      << "receiver must abandon a flow whose sender went dark";
+  EXPECT_EQ(rig.sender_ep(0).open_sender_flows(), 0u)
+      << "sender linger must fire once the receiver stops probing";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ControlLoss, ::testing::ValuesIn(testutil::kAllProtocols),
+                         proto_name);
+
+// ---------------------------------------------------------------------------
+// Regression: a credit burst beyond 65535 must chunk, not truncate.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Exposes the protected grant path so the 16-bit wire-field boundary can be
+// driven directly (no sane protocol grants 70k credits in one call, which
+// is exactly why the truncation survived until the fault fuzzer).
+class GrantProbe : public transport::ReceiverDrivenEndpoint {
+ public:
+  GrantProbe(sim::Simulation& sim, net::Host& host, transport::TransportConfig cfg)
+      : ReceiverDrivenEndpoint(sim, host, cfg, nullptr, Protocol::kPhost) {}
+
+  // Registers a synthetic receiver flow of `total_pkts` from `src` and
+  // grants `count` credits in one call; returns granted_new afterwards.
+  std::uint64_t grant_burst(net::NodeId src, std::uint32_t total_pkts, std::uint32_t count) {
+    auto [slot, inserted] = rcv_.try_emplace(77);
+    ReceiverFlow& flow = *slot;
+    flow.id = 77;
+    flow.src = src;
+    flow.total_pkts = total_pkts;
+    flow.bytes = static_cast<std::uint64_t>(total_pkts) * net::kMssBytes;
+    flow.seqs.resize(total_pkts);
+    const auto granted = grant_new(flow, count, /*marked=*/false);
+    EXPECT_EQ(granted, count);
+    return flow.granted_new;
+  }
+
+ private:
+  void after_arrival(ReceiverFlow&, const net::Packet&, bool) override {}
+};
+
+}  // namespace
+
+TEST(GrantAllowance, BurstBeyondWireFieldIsChunkedNotTruncated) {
+  RigOptions opt;
+  opt.proto = Protocol::kPhost;
+  DumbbellRig rig{opt};
+  // A probe endpoint on the receiver host replaces the rig's endpoint; the
+  // grants it emits travel the real reverse path to the sender host.
+  auto probe_owner = std::make_unique<GrantProbe>(rig.sim(), rig.receiver(0), rig.tcfg());
+  GrantProbe* probe = probe_owner.get();
+  rig.receiver(0).attach(std::move(probe_owner));
+
+  const auto before = rig.receiver(0).nic().packets_sent();
+  // 70'000 credits: pre-fix this cast to uint16 (allowance 4'464) while the
+  // receiver booked all 70'000 as granted — the flow stalled forever.
+  EXPECT_EQ(probe->grant_burst(rig.sender(0).id(), 100'000, 70'000), 70'000u);
+  rig.sched().run_until(rig.sched().now() + 1_ms);
+  EXPECT_EQ(rig.receiver(0).nic().packets_sent() - before, 2u)
+      << "70k credits must ride two grant packets (65535 + 4465)";
+}
+
+// ---------------------------------------------------------------------------
+// Regression: stall-scan repairs share the in-band bookkeeping, so one lost
+// packet is never re-requested by both paths inside one timeout window.
+// ---------------------------------------------------------------------------
+
+TEST(RepairDedup, LossBurstRepairedWithoutDuplicateRequests) {
+  RigOptions opt;
+  opt.proto = Protocol::kAmrt;
+  DumbbellRig rig{opt};
+  const auto rto = rig.tcfg().default_loss_timeout(opt.proto);
+  // A hard blackhole mid-flow eats a contiguous burst: the hole detector
+  // (arrivals after restore) and the stall scan (timeout) both see the same
+  // missing range — the forced duplicate-repair window.
+  fault::FaultPlan plan;
+  plan.blackhole(rig.s0().port_id(0), sim::TimePoint::zero() + rto, 1.0, rto * 4);
+  fault::FaultInjector injector{rig.network(), std::move(plan)};
+  injector.arm();
+
+  rig.start_flow(1, 0, 500'000);
+  ASSERT_TRUE(rig.run_to_completion(1, 2_s));
+
+  const std::uint64_t payload_pkts = net::packets_for_bytes(500'000);
+  const std::uint64_t lost = rig.network().packets_faulted();
+  std::uint64_t queue_drops = 0;
+  for (const auto& sw : rig.network().switches()) {
+    for (int p = 0; p < sw.port_count(); ++p) queue_drops += sw.port(p).queue().stats().dropped;
+  }
+  const std::uint64_t sent = rig.sender(0).nic().packets_sent();
+  // Every retransmission answers one loss; doubled repair requests would
+  // push `sent` toward payload + 2x losses. Allow the losses themselves
+  // plus a small control/RTS margin.
+  EXPECT_LT(sent, payload_pkts + (lost + queue_drops) + 50)
+      << "suspicious duplicate retransmissions: sent " << sent << " for " << payload_pkts
+      << " payload packets with " << lost << " faulted and " << queue_drops << " dropped";
+  expect_audit_clean(rig);
+}

@@ -36,6 +36,9 @@ void usage() {
       "  --buffer-pkts=N               switch buffer (default 128)\n"
       "  --overcommit=K                Homa overcommitment degree (default 2)\n"
       "  --spray                       per-packet multipath instead of ECMP\n"
+      "  --faults=N                    inject N random bounded fault incidents (link\n"
+      "                                flaps, blackhole windows, rate dips; default 0)\n"
+      "  --fault-seed=S                seed for the fault schedule (default 1)\n"
       "  --seed=S                      RNG seed (default 1)\n"
       "  --seeds=N                     sweep seeds S..S+N-1 in parallel (default 1)\n"
       "  --threads=N                   sweep worker threads (0 = one per core)\n"
@@ -92,6 +95,10 @@ int main(int argc, char** argv) {
         cfg.queues.buffer_pkts = std::stoul(v);
       } else if (match(arg, "--overcommit=", v)) {
         cfg.homa_overcommit = std::stoi(v);
+      } else if (match(arg, "--faults=", v)) {
+        cfg.fault_incidents = std::stoul(v);
+      } else if (match(arg, "--fault-seed=", v)) {
+        cfg.fault_seed = std::stoull(v);
       } else if (match(arg, "--seed=", v)) {
         cfg.seed = std::stoull(v);
       } else if (match(arg, "--seeds=", v)) {
@@ -158,17 +165,19 @@ int main(int argc, char** argv) {
 
   if (csv) {
     std::printf("proto,workload,load,flows,seed,afct_us,p99_us,small_afct_us,large_afct_us,"
-                "slowdown,utilization,max_queue,drops,trims,completed,events,wall_s\n");
+                "slowdown,utilization,max_queue,drops,trims,faulted,completed,events,wall_s\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
       const auto& p = points[i];
       const auto& r = results[i];
-      std::printf("%s,%s,%.2f,%zu,%llu,%.1f,%.1f,%.1f,%.1f,%.2f,%.4f,%zu,%llu,%llu,%zu,%llu,%.2f\n",
-                  transport::to_string(p.proto), workload::abbrev(p.workload), p.load,
-                  p.n_flows, static_cast<unsigned long long>(p.seed), r.fct_all.afct_us,
-                  r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
-                  r.fct_all.mean_slowdown, r.mean_utilization, r.max_queue_pkts,
-                  static_cast<unsigned long long>(r.drops), static_cast<unsigned long long>(r.trims),
-                  r.flows_completed, static_cast<unsigned long long>(r.events), r.wall_seconds);
+      std::printf(
+          "%s,%s,%.2f,%zu,%llu,%.1f,%.1f,%.1f,%.1f,%.2f,%.4f,%zu,%llu,%llu,%llu,%zu,%llu,%.2f\n",
+          transport::to_string(p.proto), workload::abbrev(p.workload), p.load,
+          p.n_flows, static_cast<unsigned long long>(p.seed), r.fct_all.afct_us,
+          r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
+          r.fct_all.mean_slowdown, r.mean_utilization, r.max_queue_pkts,
+          static_cast<unsigned long long>(r.drops), static_cast<unsigned long long>(r.trims),
+          static_cast<unsigned long long>(r.faulted), r.flows_completed,
+          static_cast<unsigned long long>(r.events), r.wall_seconds);
     }
     return 0;
   }
@@ -180,9 +189,10 @@ int main(int argc, char** argv) {
     std::printf("%s on %s, load %.2f, %zu flows (seed %llu)\n", transport::to_string(p.proto),
                 workload::name(p.workload), p.load, p.n_flows,
                 static_cast<unsigned long long>(p.seed));
-    std::printf("  completed:    %zu/%zu flows (%llu drops, %llu trims)\n", r.flows_completed,
-                r.flows_started, static_cast<unsigned long long>(r.drops),
-                static_cast<unsigned long long>(r.trims));
+    std::printf("  completed:    %zu/%zu flows (%llu drops, %llu trims, %llu faulted)\n",
+                r.flows_completed, r.flows_started, static_cast<unsigned long long>(r.drops),
+                static_cast<unsigned long long>(r.trims),
+                static_cast<unsigned long long>(r.faulted));
     std::printf("  FCT:          avg %.1fus, p99 %.1fus, small %.1fus, large %.1fus, slowdown %.2f\n",
                 r.fct_all.afct_us, r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
                 r.fct_all.mean_slowdown);

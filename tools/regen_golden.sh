@@ -3,8 +3,28 @@
 # root after a change that is *supposed* to alter observable results:
 #
 #   cmake --build build --target regen_golden_fct && tools/regen_golden.sh
+#
+# With --check, regenerates to a temp file and asserts it is byte-identical
+# to the committed fixture (exit 1 with a diff otherwise). This is the
+# faults-disabled determinism gate: fault-injection machinery compiled in
+# but not armed must not change a single byte of the golden run.
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--check" ]; then
+  tmp="$(mktemp)"
+  trap 'rm -f "$tmp"' EXIT
+  build/tools/regen_golden_fct > "$tmp"
+  if cmp -s "$tmp" tests/golden_fct.inc; then
+    echo "golden fixture byte-identical"
+  else
+    echo "golden fixture DRIFTED:" >&2
+    diff -u tests/golden_fct.inc "$tmp" >&2 || true
+    exit 1
+  fi
+  exit 0
+fi
+
 build/tools/regen_golden_fct > tests/golden_fct.inc.new
 mv tests/golden_fct.inc.new tests/golden_fct.inc
 echo "wrote tests/golden_fct.inc"

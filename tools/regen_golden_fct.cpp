@@ -45,11 +45,13 @@ void emit(const char* suffix, transport::Protocol proto) {
 int main() {
   std::printf(
       "// Golden-seed FCT fixtures: WebSearch, load 0.6, 80 flows, 2x2x4\n"
-      "// leaf-spine, seed 42, one array per transport. The AMRT array predates\n"
-      "// the data-plane fast-path refactor (commit 6c1b1be) and has been\n"
-      "// bit-identical since; the other transports were pinned when the audit\n"
-      "// subsystem landed. Regenerate with tools/regen_golden.sh only for a\n"
-      "// change that is *supposed* to alter results, and say so in the commit.\n"
+      "// leaf-spine, seed 42, one array per transport. All four arrays were\n"
+      "// last regenerated when the duplicate-repair-request fix landed (the\n"
+      "// golden load level takes congestion drops, so de-duplicating repair\n"
+      "// grants legitimately moves FCTs). Regenerate with tools/regen_golden.sh\n"
+      "// only for a change that is *supposed* to alter results, and say so in\n"
+      "// the commit; tools/regen_golden.sh --check gates that the unarmed\n"
+      "// fault machinery never moves a byte here.\n"
       "// Fields: flow id, bytes, start ns, end ns.\n");
   emit("Amrt", transport::Protocol::kAmrt);
   std::printf("\n");

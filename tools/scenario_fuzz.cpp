@@ -28,10 +28,12 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--seeds N] [--topo leafspine|dumbbell|chain|fattree|all]\n"
                "          [--transport amrt|phost|homa|ndp|all] [--threads N]\n"
-               "          [--keep-going] [--quiet]\n"
+               "          [--faults] [--keep-going] [--quiet]\n"
                "\n"
                "  --seed N       first seed (default 1); with --seeds 1, runs exactly one case\n"
                "  --seeds N      seeds per (topology, transport) pair (default 25)\n"
+               "  --faults       inject a seeded fault schedule (link flaps, blackhole\n"
+               "                 windows, rate dips) into every case; oracles must still hold\n"
                "  --keep-going   record audit violations instead of aborting on the first\n"
                "  --quiet        only print failures and the final summary\n",
                argv0);
@@ -76,6 +78,8 @@ int main(int argc, char** argv) {
         std::uint64_t n = 0;
         if (!parse_u64(value(), n)) throw std::invalid_argument("bad --threads");
         opts.threads = static_cast<unsigned>(n);
+      } else if (arg == "--faults") {
+        opts.faults = true;
       } else if (arg == "--keep-going") {
         keep_going = true;
       } else if (arg == "--quiet") {
@@ -104,12 +108,13 @@ int main(int argc, char** argv) {
                    r.failure.c_str());
     } else if (!quiet) {
       std::printf("ok   seed=%llu topo=%s transport=%s flows=%zu events=%llu drops=%llu "
-                  "trims=%llu hash=%016llx\n",
+                  "trims=%llu faulted=%llu hash=%016llx\n",
                   static_cast<unsigned long long>(c.seed), harness::fuzz::to_string(c.topo),
                   transport::to_string(c.proto), r.flows,
                   static_cast<unsigned long long>(r.events),
                   static_cast<unsigned long long>(r.drops),
                   static_cast<unsigned long long>(r.trims),
+                  static_cast<unsigned long long>(r.faulted),
                   static_cast<unsigned long long>(r.hash));
     }
   };
