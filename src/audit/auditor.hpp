@@ -129,8 +129,13 @@ class Auditor {
 
   void on_deliver(const PacketInfo& p) {
     auto it = ledger_.find(key_of(p));
-    if (it == ledger_.end()) return;  // untracked (test-injected) packet
-    if (it->second <= 0) {
+    if (it == ledger_.end()) {
+      if (!cross_shard_) return;  // untracked (test-injected) packet
+      // Sharded run: the injection was booked on the sender's shard. Debit
+      // here into a fresh (negative-going) entry; merge_from cancels it
+      // against the credit when the run's ledgers are folded together.
+      it = ledger_.emplace(key_of(p), 0).first;
+    } else if (!cross_shard_ && it->second <= 0) {
       fail("packet-conservation", "duplicate delivery of flow %llu seq %u type %u",
            static_cast<unsigned long long>(p.flow), p.seq, p.type);
       return;
@@ -148,8 +153,11 @@ class Auditor {
 
   void on_drop(const PacketInfo& p, DropReason r) {
     auto it = ledger_.find(key_of(p));
+    if (it == ledger_.end() && cross_shard_) {
+      it = ledger_.emplace(key_of(p), 0).first;  // debit the remote injection
+    }
     if (it != ledger_.end()) {
-      if (it->second <= 0) {
+      if (!cross_shard_ && it->second <= 0) {
         fail("packet-conservation", "drop of already-terminated flow %llu seq %u (%s)",
              static_cast<unsigned long long>(p.flow), p.seq, to_string(r));
         return;
@@ -316,6 +324,47 @@ class Auditor {
     finished_.insert(flow);
   }
 
+  // --- sharded runs (net/partition.hpp) ------------------------------------
+  // Cross-shard mode: one packet's inject and deliver/drop hooks may run on
+  // different shards' auditors, so an unknown key books a negative entry
+  // instead of being skipped and the local duplicate checks are disabled (a
+  // negative count is legitimate until the ledgers merge). Per-shard
+  // check_drained() is meaningless in this mode — only the merged master
+  // closes — which is why only ShardedRunner flips it.
+  void set_cross_shard(bool on) { cross_shard_ = on; }
+
+  // Folds `other`'s state into this auditor: ledger entries and payload
+  // tallies sum (credits cancel debits), queue shadows add element-wise,
+  // finished flows union, violations append. Called once per shard at the
+  // end of a sharded run, with every worker thread joined.
+  void merge_from(const Auditor& other) {
+    for (const auto& [key, outstanding] : other.ledger_) {
+      if (outstanding != 0) ledger_[key] += outstanding;
+    }
+    if (queues_.size() < other.queues_.size()) queues_.resize(other.queues_.size());
+    for (std::size_t i = 0; i < other.queues_.size(); ++i) {
+      queues_[i].pkts += other.queues_[i].pkts;
+      queues_[i].bytes += other.queues_[i].bytes;
+    }
+    finished_.insert(other.finished_.begin(), other.finished_.end());
+    injected_ += other.injected_;
+    delivered_ += other.delivered_;
+    dropped_ += other.dropped_;
+    trimmed_ += other.trimmed_;
+    faulted_ += other.faulted_;
+    injected_payload_ += other.injected_payload_;
+    delivered_payload_ += other.delivered_payload_;
+    dropped_payload_ += other.dropped_payload_;
+    trimmed_payload_ += other.trimmed_payload_;
+    faulted_payload_ += other.faulted_payload_;
+    if (other.last_fire_ns_ > last_fire_ns_) last_fire_ns_ = other.last_fire_ns_;
+    violation_count_ += other.violation_count_;
+    for (const auto& v : other.violations_) {
+      if (violations_.size() >= kMaxStoredViolations) break;
+      violations_.push_back(v);
+    }
+  }
+
   // --- results -------------------------------------------------------------
   [[nodiscard]] std::uint64_t violation_count() const { return violation_count_; }
   [[nodiscard]] const std::vector<std::string>& violations() const { return violations_; }
@@ -397,6 +446,7 @@ class Auditor {
   std::int64_t last_fire_ns_ = INT64_MIN;
   std::uint64_t violation_count_ = 0;
   std::vector<std::string> violations_;
+  bool cross_shard_ = false;
 };
 
 #else  // !AMRT_AUDIT — signature-identical stub; every hook site folds away.
@@ -421,6 +471,8 @@ class Auditor {
   void on_offset_grant(std::uint64_t, std::uint64_t, std::uint64_t) {}
   void on_grant_response(std::uint64_t, std::uint32_t, std::int64_t, std::uint64_t, bool) {}
   void on_flow_finished(std::uint64_t, std::uint32_t, std::uint32_t, std::uint32_t) {}
+  void set_cross_shard(bool) {}
+  void merge_from(const Auditor&) {}
   [[nodiscard]] std::uint64_t violation_count() const { return 0; }
   [[nodiscard]] const std::vector<std::string>& violations() const {
     static const std::vector<std::string> empty;

@@ -5,9 +5,14 @@
 #include <memory>
 #include <ostream>
 
+#include <stdexcept>
+
 #include "fault/fault.hpp"
+#include "harness/sharded.hpp"
 #include "net/monitor.hpp"
+#include "net/partition.hpp"
 #include "net/topology.hpp"
+#include "sim/shard.hpp"
 
 namespace amrt::harness {
 
@@ -47,9 +52,115 @@ PortUtilization active_window_utilization(const net::PortSampler& sampler) {
   return PortUtilization{sum / static_cast<double>(last - first + 1),
                          static_cast<double>(samples[last].bytes_sent)};
 }
+// Partitioned variant: same topology, workload draws and flow schedule as
+// the serial path (everything builds against the master shard, which carries
+// cfg.seed unchanged), executed across cfg.shards worker threads. No
+// PortSamplers and no completion-poll loop — periodic callbacks would keep
+// every shard's window advancing forever — so the run drains naturally under
+// the max_sim_time horizon, utilization is not measured, and the queue
+// high-water comes from the queues' own counters.
+ExperimentResult run_leaf_spine_sharded(const ExperimentConfig& cfg) {
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  if (cfg.fault_incidents > 0) {
+    throw std::invalid_argument(
+        "run_leaf_spine: fault injection and sharded execution are mutually exclusive "
+        "(the injector mutates link state from a serial-only control path)");
+  }
+
+  sim::ShardGroup group{cfg.seed, cfg.shards};
+  net::Network network{group.master()};
+
+  net::LeafSpineConfig topo_cfg;
+  topo_cfg.leaves = cfg.leaves;
+  topo_cfg.spines = cfg.spines;
+  topo_cfg.hosts_per_leaf = cfg.hosts_per_leaf;
+  topo_cfg.link_rate = cfg.link_rate;
+  topo_cfg.link_delay = cfg.link_delay;
+  topo_cfg.host_nic_queue_pkts = cfg.queues.host_nic_pkts;
+  topo_cfg.queue_factory = core::make_queue_factory(cfg.proto, cfg.queues);
+  topo_cfg.marker_factory = core::make_marker_factory(cfg.proto);
+  topo_cfg.multipath = cfg.multipath;
+  net::LeafSpine topo = net::build_leaf_spine(network, topo_cfg);
+
+  ShardedScenario scen{group, network, net::partition_leaf_spine(network, topo, cfg.shards),
+                       cfg.link_rate, topo.base_rtt};
+
+  transport::TransportConfig tcfg;
+  tcfg.host_rate = cfg.link_rate;
+  tcfg.base_rtt = topo.base_rtt;
+  tcfg.homa_overcommit = cfg.homa_overcommit;
+  tcfg.loss_timeout = cfg.loss_timeout;
+
+  std::vector<transport::TransportEndpoint*> endpoints;
+  endpoints.reserve(topo.hosts.size());
+  for (net::Host* host : topo.hosts) {
+    auto ep = core::make_endpoint(cfg.proto, scen.sim_of(host->id()), *host, tcfg,
+                                  &scen.recorder_of(host->id()));
+    endpoints.push_back(ep.get());
+    host->attach(std::move(ep));
+  }
+
+  workload::FlowGenerator gen{workload::cdf(cfg.workload), group.master().rng()};
+  workload::TrafficConfig traffic;
+  traffic.load = cfg.load;
+  traffic.n_flows = cfg.n_flows;
+  traffic.n_hosts = topo.hosts.size();
+  traffic.host_rate = cfg.link_rate;
+  const auto flows = gen.generate(traffic);
+  if (flows.empty()) return {};
+
+  for (const auto& f : flows) {
+    transport::FlowSpec spec{f.id, topo.hosts[f.src_host]->id(), topo.hosts[f.dst_host]->id(),
+                             f.bytes, f.start};
+    transport::TransportEndpoint* src_ep = endpoints[f.src_host];
+    scen.sched_of(spec.src).at(f.start, [src_ep, spec] { src_ep->start_flow(spec); });
+  }
+
+  ShardedScenario::RunLimits limits;
+  limits.horizon = sim::TimePoint::zero() + cfg.max_sim_time;
+  scen.run(limits);
+
+  const stats::FctRecorder& recorder = scen.merged();
+  ExperimentResult out;
+  out.fct_all = recorder.summarize();
+  out.fct_small = recorder.summarize(0, 100'000);
+  out.fct_large = recorder.summarize(1'000'000, UINT64_MAX);
+  out.flows_started = recorder.started_count();
+  out.flows_completed = recorder.completed().size();
+  out.flow_records = recorder.completed();
+  out.bytes_delivered = recorder.bytes_delivered();
+  out.events = group.events_processed();
+  out.sim_seconds = group.now_max().to_seconds();
+
+  for (const auto& sw : network.switches()) {
+    for (int p = 0; p < sw.port_count(); ++p) {
+      const auto& st = sw.port(p).queue().stats();
+      out.drops += st.dropped;
+      out.trims += st.trimmed;
+      out.max_queue_pkts = std::max(out.max_queue_pkts, st.max_data_pkts);
+    }
+  }
+  out.faulted = network.packets_faulted();
+
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  if (out.flows_completed < out.flows_started) {
+    group.master().trace().warn(
+        "run_leaf_spine[%s/%s, %u shards]: %zu of %zu flows incomplete at t=%s",
+        transport::to_string(cfg.proto), workload::abbrev(cfg.workload), cfg.shards,
+        out.flows_started - out.flows_completed, out.flows_started,
+        group.now_max().str().c_str());
+  }
+  return out;
+}
+
 }  // namespace
 
 ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
+  if (cfg.shards > 1) return run_leaf_spine_sharded(cfg);
+
   const auto wall_start = std::chrono::steady_clock::now();
 
   sim::Simulation simu{cfg.seed};

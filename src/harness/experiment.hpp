@@ -36,6 +36,17 @@ struct ExperimentConfig {
   net::MultipathMode multipath = net::MultipathMode::kPerFlowEcmp;
   std::uint64_t seed = 1;
 
+  // Partitioned execution: run the fabric across this many shard threads
+  // under the conservative window protocol (src/net/partition.hpp). 1 = the
+  // classic serial run, bit-identical to older builds. Values > 1 keep the
+  // same topology, workload draws and flow schedule (all built against the
+  // master shard, which carries `seed` unchanged) but interleave packet
+  // events differently, so FCTs agree statistically rather than exactly.
+  // Utilization sampling needs the serial event loop; sharded runs report
+  // mean_utilization = 0 and take max_queue_pkts from the queues' own
+  // high-water marks. Mutually exclusive with fault injection.
+  unsigned shards = 1;
+
   // Fault injection (src/fault): number of random bounded incidents (link
   // flaps, blackhole windows, rate dips) drawn against the fabric's switch
   // ports. 0 (the default) runs a pristine fabric — byte-identical to

@@ -8,8 +8,11 @@
 #include "audit/auditor.hpp"
 #include "core/factory.hpp"
 #include "fault/fault.hpp"
+#include "harness/sharded.hpp"
 #include "harness/sweep.hpp"
+#include "net/partition.hpp"
 #include "net/topology.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 #include "stats/fct.hpp"
 #include "workload/generator.hpp"
@@ -264,6 +267,178 @@ fault::FaultPlan draw_fault_plan(const CaseConfig& c, const net::Network& networ
 // which is reported as a failure instead of hanging the fuzzer.
 constexpr std::uint64_t kEventLimit = 50'000'000;
 
+// Oracles 1-4 plus the replay fingerprint, shared by the serial and the
+// partitioned paths (the latter passes the merged per-shard recorder and the
+// master auditor, which holds the folded cross-shard ledger after the run).
+// Expects r.flows / r.completed / r.events / r.faulted to be set already.
+void check_oracles(CaseResult& r, const stats::FctRecorder& recorder, net::Network& network,
+                   const Scenario& scen, const CaseParams& params, audit::Auditor& auditor) {
+  auto fail = [&r](std::string why) {
+    if (r.ok) {
+      r.ok = false;
+      r.failure = std::move(why);
+    }
+  };
+
+  // Oracle 1: completion (an event-limit hit shows up here as livelock).
+  if (r.completed < r.flows) {
+    fail("incomplete: " + std::to_string(r.flows - r.completed) + " of " +
+         std::to_string(r.flows) + " flows unfinished" +
+         (r.events >= kEventLimit ? " (event limit hit)" : ""));
+  }
+  // Oracle 2: physics. Payload must serialize through the sender NIC and
+  // cross at least one propagation delay; queueing/loss only adds to that.
+  for (const auto& rec : recorder.completed()) {
+    const sim::Duration floor =
+        params.link_rate.tx_time(static_cast<std::int64_t>(rec.bytes)) + params.link_delay;
+    if (rec.fct() < floor) {
+      fail("fct below serialization floor: flow " + std::to_string(rec.flow) + " fct " +
+           rec.fct().str() + " < " + floor.str());
+      break;
+    }
+  }
+
+  // Oracle 3: queue accounting at drain, on every switch port and host NIC.
+  auto check_queue = [&](const net::EgressQueue& q, const std::string& where) {
+    const auto& st = q.stats();
+    if (q.total_pkts() != 0) {
+      fail(where + ": " + std::to_string(q.total_pkts()) + " packets stranded after drain");
+    } else if (st.enqueued != st.dequeued + st.dropped) {
+      fail(where + ": stats identity broken: enqueued " + std::to_string(st.enqueued) +
+           " != dequeued " + std::to_string(st.dequeued) + " + dropped " +
+           std::to_string(st.dropped));
+    }
+    r.drops += st.dropped;
+    r.trims += st.trimmed;
+  };
+  for (const auto& sw : network.switches()) {
+    for (int i = 0; i < sw.port_count(); ++i) {
+      check_queue(sw.port(i).queue(), network.label(sw.id()) + " port " + std::to_string(i));
+    }
+  }
+  for (net::Host* host : scen.hosts) {
+    check_queue(host->nic().queue(), network.label(host->id()) + " nic");
+  }
+
+  // Oracle 4 (audit builds; all calls are no-op stubs otherwise): the
+  // conservation ledger must be drained and nothing may have tripped.
+  auditor.check_drained();
+  r.audit_violations = auditor.violation_count();
+  if (r.audit_violations != 0) {
+    fail("audit: " + auditor.violations().front());
+  }
+
+  // Fingerprint, for replay/parallel bit-identity checks.
+  Fnv fnv;
+  fnv.add(r.flows);
+  for (const auto& rec : recorder.completed()) {
+    fnv.add(rec.flow);
+    fnv.add(rec.bytes);
+    fnv.add(static_cast<std::uint64_t>(rec.start.ns()));
+    fnv.add(static_cast<std::uint64_t>(rec.end.ns()));
+  }
+  fnv.add(r.drops);
+  fnv.add(r.trims);
+  fnv.add(r.events);
+  fnv.add(r.faulted);
+  r.hash = fnv.h;
+}
+
+// Partitioned variant of run_case: same parameter stream and flow schedule
+// (everything builds against the master shard, which carries the case seed
+// unchanged), executed on `c.shards` worker threads under the conservative
+// window protocol. Only the partitionable topologies are supported.
+CaseResult run_case_sharded(const CaseConfig& c) {
+  if (c.faults) {
+    throw std::invalid_argument("fuzz: --faults and --shards are mutually exclusive "
+                                "(fault injection mutates link state serially)");
+  }
+  if (c.topo != Topo::kFatTree && c.topo != Topo::kLeafSpine) {
+    throw std::invalid_argument(std::string{"fuzz: --shards does not support topology "} +
+                                to_string(c.topo));
+  }
+
+  sim::Rng draw{mix(c.seed, case_salt(c))};
+  const CaseParams params = draw_params(c, draw);
+
+  sim::ShardGroup group{mix(c.seed, case_salt(c) ^ 0xA5A5ULL), c.shards};
+  net::Network network{group.master()};
+
+  Scenario scen;
+  net::Partition part;
+  if (c.topo == Topo::kFatTree) {
+    net::FatTreeConfig topo_cfg;
+    topo_cfg.k = params.fat_k;
+    topo_cfg.link_rate = params.link_rate;
+    topo_cfg.link_delay = params.link_delay;
+    topo_cfg.host_nic_queue_pkts = params.queues.host_nic_pkts;
+    topo_cfg.queue_factory = core::make_queue_factory(c.proto, params.queues);
+    topo_cfg.marker_factory = core::make_marker_factory(c.proto);
+    net::FatTree topo = net::build_fat_tree(network, topo_cfg);
+    scen.hosts = topo.hosts;
+    scen.base_rtt = topo.base_rtt;
+    part = net::partition_fat_tree(network, topo, c.shards);
+  } else {
+    net::LeafSpineConfig topo_cfg;
+    topo_cfg.leaves = params.leaves;
+    topo_cfg.spines = params.spines;
+    topo_cfg.hosts_per_leaf = params.hosts_per_leaf;
+    topo_cfg.link_rate = params.link_rate;
+    topo_cfg.link_delay = params.link_delay;
+    topo_cfg.host_nic_queue_pkts = params.queues.host_nic_pkts;
+    topo_cfg.queue_factory = core::make_queue_factory(c.proto, params.queues);
+    topo_cfg.marker_factory = core::make_marker_factory(c.proto);
+    net::LeafSpine topo = net::build_leaf_spine(network, topo_cfg);
+    scen.hosts = topo.hosts;
+    scen.base_rtt = topo.base_rtt;
+    part = net::partition_leaf_spine(network, topo, c.shards);
+  }
+
+  ShardedScenario sharded{group, network, std::move(part), params.link_rate, scen.base_rtt};
+
+  transport::TransportConfig tcfg;
+  tcfg.host_rate = params.link_rate;
+  tcfg.base_rtt = scen.base_rtt;
+
+  scen.endpoints.reserve(scen.hosts.size());
+  for (net::Host* host : scen.hosts) {
+    auto ep = core::make_endpoint(c.proto, sharded.sim_of(host->id()), *host, tcfg,
+                                  &sharded.recorder_of(host->id()));
+    scen.endpoints.push_back(ep.get());
+    host->attach(std::move(ep));
+  }
+
+  workload::FlowGenerator gen{workload::cdf(params.workload), group.master().rng()};
+  workload::TrafficConfig traffic;
+  traffic.load = params.load;
+  traffic.n_flows = params.n_flows;
+  traffic.n_hosts = scen.hosts.size();
+  traffic.host_rate = params.link_rate;
+  const auto flows = gen.generate(traffic);
+
+  for (const auto& f : flows) {
+    transport::FlowSpec spec{f.id, scen.hosts[f.src_host]->id(), scen.hosts[f.dst_host]->id(),
+                             f.bytes, f.start};
+    transport::TransportEndpoint* src_ep = scen.endpoints[f.src_host];
+    // A flow starts on its sender's shard: the start event must fire on the
+    // thread that owns the sender's scheduler and timers.
+    sharded.sched_of(spec.src).at(f.start, [src_ep, spec] { src_ep->start_flow(spec); });
+  }
+
+  ShardedScenario::RunLimits limits;
+  limits.event_limit = kEventLimit;
+  limits.audit_context = repro_line(c);
+  sharded.run(limits);
+
+  CaseResult r;
+  r.flows = flows.size();
+  r.completed = sharded.merged().completed().size();
+  r.events = sharded.events();
+  r.faulted = network.packets_faulted();
+  check_oracles(r, sharded.merged(), network, scen, params, group.master().auditor());
+  return r;
+}
+
 }  // namespace
 
 const char* to_string(Topo t) {
@@ -291,12 +466,15 @@ Topo topo_from_string(const std::string& s) {
 std::string repro_line(const CaseConfig& c) {
   return std::string{"scenario_fuzz --seed "} + std::to_string(c.seed) + " --topo " +
          to_string(c.topo) + " --transport " + transport::to_string(c.proto) +
-         (c.faults ? " --faults" : "");
+         (c.faults ? " --faults" : "") +
+         (c.shards > 1 ? " --shards " + std::to_string(c.shards) : "");
 }
 
 CaseResult run_case(const CaseConfig& c) {
   // A fail-fast audit abort anywhere below prints this line.
   audit::set_context(repro_line(c));
+
+  if (c.shards > 1) return run_case_sharded(c);
 
   sim::Rng draw{mix(c.seed, case_salt(c))};
   const CaseParams params = draw_params(c, draw);
@@ -353,77 +531,7 @@ CaseResult run_case(const CaseConfig& c) {
   r.completed = recorder.completed().size();
   r.events = sched.events_processed();
   r.faulted = network.packets_faulted();
-
-  auto fail = [&r](std::string why) {
-    if (r.ok) {
-      r.ok = false;
-      r.failure = std::move(why);
-    }
-  };
-
-  // Oracle 1: completion (an event-limit hit shows up here as livelock).
-  if (r.completed < r.flows) {
-    fail("incomplete: " + std::to_string(r.flows - r.completed) + " of " +
-         std::to_string(r.flows) + " flows unfinished" +
-         (r.events >= kEventLimit ? " (event limit hit)" : ""));
-  }
-  // Oracle 2: physics. Payload must serialize through the sender NIC and
-  // cross at least one propagation delay; queueing/loss only adds to that.
-  for (const auto& rec : recorder.completed()) {
-    const sim::Duration floor =
-        params.link_rate.tx_time(static_cast<std::int64_t>(rec.bytes)) + params.link_delay;
-    if (rec.fct() < floor) {
-      fail("fct below serialization floor: flow " + std::to_string(rec.flow) + " fct " +
-           rec.fct().str() + " < " + floor.str());
-      break;
-    }
-  }
-
-  // Oracle 3: queue accounting at drain, on every switch port and host NIC.
-  auto check_queue = [&](const net::EgressQueue& q, const std::string& where) {
-    const auto& st = q.stats();
-    if (q.total_pkts() != 0) {
-      fail(where + ": " + std::to_string(q.total_pkts()) + " packets stranded after drain");
-    } else if (st.enqueued != st.dequeued + st.dropped) {
-      fail(where + ": stats identity broken: enqueued " + std::to_string(st.enqueued) +
-           " != dequeued " + std::to_string(st.dequeued) + " + dropped " +
-           std::to_string(st.dropped));
-    }
-    r.drops += st.dropped;
-    r.trims += st.trimmed;
-  };
-  for (const auto& sw : network.switches()) {
-    for (int i = 0; i < sw.port_count(); ++i) {
-      check_queue(sw.port(i).queue(), network.label(sw.id()) + " port " + std::to_string(i));
-    }
-  }
-  for (net::Host* host : scen.hosts) {
-    check_queue(host->nic().queue(), network.label(host->id()) + " nic");
-  }
-
-  // Oracle 4 (audit builds; all calls are no-op stubs otherwise): the
-  // conservation ledger must be drained and nothing may have tripped.
-  auto& auditor = simu.auditor();
-  auditor.check_drained();
-  r.audit_violations = auditor.violation_count();
-  if (r.audit_violations != 0) {
-    fail("audit: " + auditor.violations().front());
-  }
-
-  // Fingerprint, for replay/parallel bit-identity checks.
-  Fnv fnv;
-  fnv.add(r.flows);
-  for (const auto& rec : recorder.completed()) {
-    fnv.add(rec.flow);
-    fnv.add(rec.bytes);
-    fnv.add(static_cast<std::uint64_t>(rec.start.ns()));
-    fnv.add(static_cast<std::uint64_t>(rec.end.ns()));
-  }
-  fnv.add(r.drops);
-  fnv.add(r.trims);
-  fnv.add(r.events);
-  fnv.add(r.faulted);
-  r.hash = fnv.h;
+  check_oracles(r, recorder, network, scen, params, simu.auditor());
   return r;
 }
 
@@ -431,9 +539,13 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
   std::vector<CaseConfig> cases;
   cases.reserve(opts.topos.size() * opts.protocols.size() * opts.seeds);
   for (const Topo topo : opts.topos) {
+    // Partitioned sweeps cover only the topologies that have a pod/leaf cut;
+    // the tiny dumbbell/chain fabrics are silently skipped rather than
+    // forcing every caller to trim the default topology list.
+    if (opts.shards > 1 && topo != Topo::kFatTree && topo != Topo::kLeafSpine) continue;
     for (const Protocol proto : opts.protocols) {
       for (std::uint64_t s = 0; s < opts.seeds; ++s) {
-        cases.push_back(CaseConfig{opts.first_seed + s, topo, proto, opts.faults});
+        cases.push_back(CaseConfig{opts.first_seed + s, topo, proto, opts.faults, opts.shards});
       }
     }
   }

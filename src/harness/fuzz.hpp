@@ -52,6 +52,13 @@ struct CaseConfig {
   // parameter stream *after* every pre-existing draw, so cases with faults
   // off replay bit-identically to builds that predate fault injection.
   bool faults = false;
+  // Partitioned execution: run the case on `shards` worker threads (fat-tree
+  // and leaf-spine topologies only; the small dumbbell/chain fabrics have no
+  // useful cut). Mutually exclusive with `faults` — the fault injector
+  // mutates LinkState from a serial-only control path. The oracles are
+  // unchanged: completion, physics, queue accounting and the (merged)
+  // audit ledger must hold for every shard count.
+  unsigned shards = 1;
 };
 
 struct CaseResult {
@@ -87,6 +94,9 @@ struct FuzzOptions {
       transport::Protocol::kAmrt, transport::Protocol::kPhost, transport::Protocol::kHoma,
       transport::Protocol::kNdp};
   bool faults = false;   // inject a drawn fault schedule into every case
+  // Run every case partitioned across this many shards. Values > 1 restrict
+  // the sweep to the partitionable topologies (fat-tree, leaf-spine).
+  unsigned shards = 1;
   unsigned threads = 0;  // SweepRunner: 0 = one per hardware core
   // Called after each case (serialized), for progress/reporting.
   std::function<void(const CaseConfig&, const CaseResult&)> on_case;

@@ -6,7 +6,7 @@
 namespace amrt::net {
 
 Host::Host(sim::Scheduler& sched, Network& net, NodeId id, PortId nic)
-    : Node{id}, sched_{sched}, net_{&net}, nic_{nic} {}
+    : Node{id}, sched_{&sched}, net_{&net}, nic_{nic} {}
 
 void Host::attach(std::unique_ptr<PacketSink> sink) { sink_ = std::move(sink); }
 
@@ -15,7 +15,7 @@ void Host::handle_packet(Packet&& pkt, int /*ingress_port*/) {
 #ifdef AMRT_AUDIT
   // The audited delivery point: closes this copy's ledger entry and checks
   // the Eq. 3 CE composition for data packets.
-  if (auto* a = sched_.auditor()) a->on_deliver(audit::info_of(pkt));
+  if (auto* a = sched_->auditor()) a->on_deliver(audit::info_of(pkt));
 #endif
   if (sink_ != nullptr) {
     sink_->deliver(std::move(pkt));

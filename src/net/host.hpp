@@ -43,8 +43,12 @@ class Host final : public Node {
   // Bytes received off the wire (any packet type), for throughput meters.
   [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
 
+  // Re-points the audit hooks at the owning shard's scheduler (sharded runs
+  // only; see net/partition.hpp). Must run before traffic flows.
+  void rebind_scheduler(sim::Scheduler& sched) { sched_ = &sched; }
+
  private:
-  sim::Scheduler& sched_;
+  sim::Scheduler* sched_;
   Network* net_;
   PortId nic_;
   std::unique_ptr<PacketSink> sink_;

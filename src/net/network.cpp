@@ -76,7 +76,7 @@ void Network::set_link_up(PortId p, bool up) {
   if (link_state_.is_up(p) == up) return;
   if (link_state_.up.size() < ports_.size()) link_state_.up.resize(ports_.size(), 1);
   link_state_.up[slot] = up ? 1 : 0;
-  ++link_state_.epoch;
+  link_state_.epoch.fetch_add(1, std::memory_order_relaxed);
   ports_[slot].set_link_up(up);
 }
 

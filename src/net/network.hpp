@@ -149,7 +149,7 @@ class Network {
 
 inline void Host::send(Packet&& pkt) {
 #ifdef AMRT_AUDIT
-  if (auto* a = sched_.auditor()) {
+  if (auto* a = sched_->auditor()) {
     pkt.audit_ce_expected = pkt.ce;
     a->on_inject(audit::info_of(pkt));
   }

@@ -4,11 +4,12 @@
 #include <stdexcept>
 
 #include "net/network.hpp"
+#include "net/partition.hpp"
 
 namespace amrt::net {
 
 EgressPort::EgressPort(sim::Scheduler& sched, Config cfg, EgressQueue& queue)
-    : sched_{sched},
+    : sched_{&sched},
       cfg_{cfg},
       queue_{&queue},
       jitter_rng_{cfg_.jitter_seed},
@@ -54,7 +55,7 @@ void EgressPort::enqueue(Packet&& pkt) {
 void EgressPort::eat_faulted(Packet&& pkt, audit::DropReason reason) {
   ++packets_faulted_;
 #ifdef AMRT_AUDIT
-  if (auto* a = sched_.auditor()) a->on_drop(audit::info_of(pkt), reason);
+  if (auto* a = sched_->auditor()) a->on_drop(audit::info_of(pkt), reason);
 #endif
   (void)pkt;
   (void)reason;
@@ -89,7 +90,7 @@ void EgressPort::ensure_wakeup() {
   wakeup_pending_ = true;
   // Raw lane: the wakeup is never cancelled (wakeup_pending_ dedups it), so
   // it can skip the callback record entirely.
-  sched_.at_raw(
+  sched_->at_raw(
       busy_until_, [](void* p) { static_cast<EgressPort*>(p)->on_wakeup(); }, this);
 }
 
@@ -117,7 +118,7 @@ void EgressPort::start_next_transmission() {
   auto next = queue_->dequeue();
   if (!next) return;
 
-  const sim::TimePoint tx_start = sched_.now();
+  const sim::TimePoint tx_start = sched_->now();
   // Most ports (all NICs, and every non-AMRT switch port) have no markers:
   // skip the loop outright rather than pay its setup per packet.
   if (!markers_.empty()) {
@@ -148,8 +149,14 @@ void EgressPort::start_next_transmission() {
   // once, and the lambda fits the scheduler's inline callback buffer. `this`
   // is stable here: the port pool is frozen once traffic flows (see the
   // Network invalidation rules).
-  if (net_ != nullptr || peer_node_ != nullptr) {
-    sched_.after(tx + cfg_.delay, [this, p = std::move(*next)]() mutable {
+  if (outbox_ != nullptr) [[unlikely]] {
+    // Cross-shard link: the peer's handler runs on another shard's thread,
+    // so no event is scheduled here. The delivery timestamp rides along and
+    // the receiving shard injects it at its next window — the conservative
+    // lookahead guarantees that window hasn't started yet.
+    outbox_->push((tx_start + tx + cfg_.delay).ns(), peer_id_, peer_port_, std::move(*next));
+  } else if (net_ != nullptr || peer_node_ != nullptr) {
+    sched_->after(tx + cfg_.delay, [this, p = std::move(*next)]() mutable {
       deliver_to_peer(std::move(p));
     });
   }

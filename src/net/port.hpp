@@ -27,6 +27,7 @@
 namespace amrt::net {
 
 class Network;
+class ShardMailbox;
 
 class EgressPort {
  public:
@@ -77,9 +78,22 @@ class EgressPort {
 
   [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] const EgressQueue& queue() const { return *queue_; }
-  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
-  [[nodiscard]] bool busy() const { return sched_.now() < busy_until_; }
+  // Mutable queue access for shard binding (re-pointing the audit hook at
+  // the owning shard's auditor); the data path never needs this.
+  [[nodiscard]] EgressQueue& queue_mut() { return *queue_; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return *sched_; }
+  [[nodiscard]] bool busy() const { return sched_->now() < busy_until_; }
   [[nodiscard]] NodeId peer() const { return peer_id_; }
+  [[nodiscard]] int peer_ingress_port() const { return peer_port_; }
+
+  // --- sharded execution (net/partition.hpp drives these) ------------------
+  // Re-points event scheduling at the owning shard's scheduler. Must run
+  // before traffic flows; the serial path never calls it.
+  void rebind_scheduler(sim::Scheduler& sched) { sched_ = &sched; }
+  // Routes deliveries into a cross-shard mailbox instead of scheduling the
+  // peer's handler on this shard. nullptr (the default) restores direct
+  // delivery — the serial fast path pays one predicted-not-taken branch.
+  void set_cross_shard_outbox(ShardMailbox* outbox) { outbox_ = outbox; }
 
   // --- telemetry (read by monitors) ---
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -116,9 +130,10 @@ class EgressPort {
   // A fault consumed this packet before admission (link down / blackhole).
   void eat_faulted(Packet&& pkt, audit::DropReason reason);
 
-  sim::Scheduler& sched_;
+  sim::Scheduler* sched_;
   Config cfg_;
   EgressQueue* queue_ = nullptr;
+  ShardMailbox* outbox_ = nullptr;  // non-null only on cross-shard ports
   std::vector<std::unique_ptr<DequeueMarker>> markers_;
   // Pooled wiring resolves peer_id_ through net_; standalone wiring
   // virtual-dispatches through peer_node_. connect() sets exactly one.

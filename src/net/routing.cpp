@@ -46,7 +46,7 @@ void RoutingTable::compact() const {
 }
 
 void RoutingTable::refresh_link_view() const {
-  seen_epoch_ = link_state_->epoch;
+  seen_epoch_ = link_state_->epoch.load(std::memory_order_relaxed);
   // Cached ECMP picks may point at ports that just died (or skip ports that
   // just revived): flush wholesale, repopulated per flow on the next packet.
   cache_.fill(CacheSlot{});

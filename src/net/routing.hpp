@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -31,7 +32,10 @@ namespace amrt::net {
 // one compare.
 struct LinkState {
   std::vector<std::uint8_t> up;  // indexed by PortId; absent slots count as up
-  std::uint64_t epoch = 0;
+  // Atomic (relaxed) so sharded runs may read it from every worker thread:
+  // fault injection is serial-only, so across a partitioned run the epoch is
+  // a constant and the relaxed load costs the same as the plain one did.
+  std::atomic<std::uint64_t> epoch{0};
 
   [[nodiscard]] bool is_up(std::int32_t port) const {
     const auto i = static_cast<std::size_t>(port);
@@ -72,7 +76,8 @@ class RoutingTable {
   // to fail during setup instead of mid-run).
   [[nodiscard]] int select(const Packet& pkt) {
     if (dirty_) compact();
-    if (link_state_ != nullptr && link_state_->epoch != seen_epoch_) [[unlikely]] {
+    if (link_state_ != nullptr &&
+        link_state_->epoch.load(std::memory_order_relaxed) != seen_epoch_) [[unlikely]] {
       refresh_link_view();
     }
     const std::uint32_t dst = pkt.dst.value;

@@ -20,6 +20,18 @@ void Scheduler::run() {
   }
 }
 
+void Scheduler::run_window(TimePoint end) {
+  // Timestamps are integral nanoseconds, so "strictly before end" is the
+  // same horizon as "at or before end - 1ns". Unlike run_until, the clock is
+  // NOT bumped to the window edge: at() during the next window's injection
+  // phase must still accept deliveries anywhere >= the last fired event.
+  const TimePoint horizon = TimePoint::from_ns(end.ns() - 1);
+  while (true) {
+    if (event_limit_ != 0 && processed_ >= event_limit_) break;
+    if (!dispatch_next(horizon)) break;
+  }
+}
+
 void Scheduler::run_until(TimePoint until) {
   stopped_ = false;
   while (!stopped_) {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "audit/auditor.hpp"
@@ -52,6 +53,15 @@ class Scheduler {
   void run();
   // Runs events with timestamp <= `until`, then sets the clock to `until`.
   void run_until(TimePoint until);
+  // Runs events with timestamp strictly < `end` and leaves the clock at the
+  // last fired event. The sharded driver (net/partition.hpp) executes one
+  // conservative time window per call; windows are half-open so a message
+  // produced at t and delivered at exactly t + lookahead lands in the *next*
+  // window, never this one.
+  void run_window(TimePoint end);
+  // Timestamp of the earliest pending event, if any. The shard coordinator
+  // uses the global minimum to skip idle windows.
+  [[nodiscard]] std::optional<TimePoint> next_event_time() { return queue_.next_time(); }
   // Requests the current run loop to return after the in-flight callback.
   void stop() { stopped_ = true; }
 

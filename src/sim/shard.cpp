@@ -1,0 +1,39 @@
+#include "sim/shard.hpp"
+
+#include <stdexcept>
+
+namespace amrt::sim {
+
+std::uint64_t ShardGroup::derive_seed(std::uint64_t seed, unsigned shard) {
+  if (shard == 0) return seed;  // the master stream is the serial stream
+  // Splitmix64 finalizer over (seed, shard): adjacent shard indices map to
+  // statistically independent streams even for small seeds.
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(shard) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+ShardGroup::ShardGroup(std::uint64_t seed, unsigned n) {
+  if (n == 0) throw std::invalid_argument("ShardGroup requires at least one shard");
+  sims_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    sims_.push_back(std::make_unique<Simulation>(derive_seed(seed, i)));
+  }
+}
+
+std::uint64_t ShardGroup::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : sims_) total += s->events_processed();
+  return total;
+}
+
+TimePoint ShardGroup::now_max() const {
+  TimePoint t = TimePoint::zero();
+  for (const auto& s : sims_) {
+    if (s->now() > t) t = s->now();
+  }
+  return t;
+}
+
+}  // namespace amrt::sim

@@ -21,12 +21,43 @@ void FctRecorder::on_flow_progress(std::uint64_t flow, std::uint64_t delta_bytes
 void FctRecorder::on_flow_completed(std::uint64_t flow, sim::TimePoint at) {
   FlowRecord* rec = open_.find(flow);
   if (rec == nullptr) {
-    AMRT_WARN("FctRecorder: completion for unknown flow %llu", static_cast<unsigned long long>(flow));
+    if (cross_shard_) {
+      // The start was booked on the sender's shard; hold the end time until
+      // merge_from pairs the two halves.
+      pending_end_[flow] = at;
+    } else {
+      AMRT_WARN("FctRecorder: completion for unknown flow %llu",
+                static_cast<unsigned long long>(flow));
+    }
     return;
   }
   rec->end = at;
   completed_.push_back(*rec);
   open_.erase(flow);
+}
+
+void FctRecorder::merge_from(const FctRecorder& other) {
+  started_ += other.started_;
+  bytes_delivered_ += other.bytes_delivered_;
+  completed_.insert(completed_.end(), other.completed_.begin(), other.completed_.end());
+  for (const auto& [flow, rec] : other.open_) open_[flow] = rec;
+  for (const auto& [flow, end] : other.pending_end_) pending_end_[flow] = end;
+
+  // Pair starts with completions recorded on different shards. Resolved
+  // records are appended in flow-id order so the merged list is identical
+  // for any merge order of the same per-shard recorders.
+  std::vector<std::uint64_t> resolved;
+  for (const auto& [flow, end] : pending_end_) {
+    if (open_.find(flow) != nullptr) resolved.push_back(flow);
+  }
+  std::sort(resolved.begin(), resolved.end());
+  for (const std::uint64_t flow : resolved) {
+    FlowRecord rec = *open_.find(flow);
+    rec.end = *pending_end_.find(flow);
+    completed_.push_back(rec);
+    open_.erase(flow);
+    pending_end_.erase(flow);
+  }
 }
 
 std::optional<FlowRecord> FctRecorder::record_of(std::uint64_t flow) const {

@@ -68,6 +68,18 @@ class FctRecorder final : public FlowObserver {
   // Total payload bytes delivered (progress callbacks), for goodput checks.
   [[nodiscard]] std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
+  // Folds another recorder's state into this one (sharded runs keep one
+  // recorder per shard; the harness merges them in shard order, which keeps
+  // the combined record list deterministic for a fixed shard count).
+  void merge_from(const FctRecorder& other);
+
+  // Sharded runs: a flow starts at the sender (its shard's recorder) but
+  // completes at the receiver, which may live on another shard. In
+  // cross-shard mode a completion for a flow this recorder never saw is held
+  // aside instead of warned about; merge_from pairs held completions with
+  // starts from the other shards' recorders.
+  void set_cross_shard(bool on) { cross_shard_ = on; }
+
   // Optional per-progress hook for time-series consumers.
   using ProgressHook = std::function<void(std::uint64_t flow, std::uint64_t delta, sim::TimePoint at)>;
   void set_progress_hook(ProgressHook hook) { progress_hook_ = std::move(hook); }
@@ -76,9 +88,11 @@ class FctRecorder final : public FlowObserver {
   sim::Bandwidth reference_rate_;
   sim::Duration base_rtt_;
   util::FlatMap<std::uint64_t, FlowRecord> open_;
+  util::FlatMap<std::uint64_t, sim::TimePoint> pending_end_;  // cross-shard only
   std::vector<FlowRecord> completed_;
   std::size_t started_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+  bool cross_shard_ = false;
   ProgressHook progress_hook_;
 };
 

@@ -40,6 +40,9 @@ void usage() {
       "                                flaps, blackhole windows, rate dips; default 0)\n"
       "  --fault-seed=S                seed for the fault schedule (default 1)\n"
       "  --seed=S                      RNG seed (default 1)\n"
+      "  --shards=N                    partition the fabric across N shard threads\n"
+      "                                (default 1 = serial; excludes --faults; sharded\n"
+      "                                runs report utilization as 0 — see DESIGN.md §12)\n"
       "  --seeds=N                     sweep seeds S..S+N-1 in parallel (default 1)\n"
       "  --threads=N                   sweep worker threads (0 = one per core)\n"
       "  --json=PATH                   dump sweep results as JSON\n"
@@ -101,6 +104,9 @@ int main(int argc, char** argv) {
         cfg.fault_seed = std::stoull(v);
       } else if (match(arg, "--seed=", v)) {
         cfg.seed = std::stoull(v);
+      } else if (match(arg, "--shards=", v)) {
+        cfg.shards = static_cast<unsigned>(std::stoul(v));
+        if (cfg.shards == 0) cfg.shards = 1;
       } else if (match(arg, "--seeds=", v)) {
         n_seeds = std::stoul(v);
         if (n_seeds == 0) n_seeds = 1;
@@ -126,6 +132,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad option %s: %s\n", arg.c_str(), e.what());
       return 2;
     }
+  }
+
+  if (cfg.shards > 1 && cfg.fault_incidents > 0) {
+    std::fprintf(stderr, "amrt_sim: --faults and --shards are mutually exclusive\n");
+    return 2;
   }
 
   // One point per seed; a single run is just a one-point sweep.

@@ -27,11 +27,14 @@ using harness::fuzz::Topo;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--seeds N] [--topo leafspine|dumbbell|chain|fattree|all]\n"
-               "          [--transport amrt|phost|homa|ndp|all] [--threads N]\n"
+               "          [--transport amrt|phost|homa|ndp|all] [--threads N] [--shards N]\n"
                "          [--faults] [--keep-going] [--quiet]\n"
                "\n"
                "  --seed N       first seed (default 1); with --seeds 1, runs exactly one case\n"
                "  --seeds N      seeds per (topology, transport) pair (default 25)\n"
+               "  --shards N     run every case partitioned across N worker threads (fat-tree\n"
+               "                 and leaf-spine only; other topologies are skipped). Mutually\n"
+               "                 exclusive with --faults\n"
                "  --faults       inject a seeded fault schedule (link flaps, blackhole\n"
                "                 windows, rate dips) into every case; oracles must still hold\n"
                "  --keep-going   record audit violations instead of aborting on the first\n"
@@ -78,6 +81,10 @@ int main(int argc, char** argv) {
         std::uint64_t n = 0;
         if (!parse_u64(value(), n)) throw std::invalid_argument("bad --threads");
         opts.threads = static_cast<unsigned>(n);
+      } else if (arg == "--shards") {
+        std::uint64_t n = 0;
+        if (!parse_u64(value(), n) || n == 0) throw std::invalid_argument("bad --shards");
+        opts.shards = static_cast<unsigned>(n);
       } else if (arg == "--faults") {
         opts.faults = true;
       } else if (arg == "--keep-going") {
@@ -96,6 +103,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
       return 2;
     }
+  }
+
+  if (opts.faults && opts.shards > 1) {
+    std::fprintf(stderr, "%s: --faults and --shards are mutually exclusive\n", argv[0]);
+    return 2;
   }
 
   // Fail-fast aborts (printing the replay line) are the right default for a
