@@ -324,6 +324,36 @@ class Auditor {
     finished_.insert(flow);
   }
 
+  // --- DCTCP window invariants (transport/dctcp.hpp) -----------------------
+  // Fired after every window update (fresh ACK or timeout): alpha is a
+  // fraction by construction and cwnd must stay inside [1, cap].
+  void on_dctcp_window(std::uint64_t flow, double cwnd, double alpha, double cap) {
+    if (!(alpha >= 0.0 && alpha <= 1.0)) {
+      fail("dctcp-alpha", "flow %llu alpha %f outside [0, 1]",
+           static_cast<unsigned long long>(flow), alpha);
+      return;
+    }
+    if (cwnd < 1.0) {
+      fail("dctcp-cwnd", "flow %llu cwnd %f below one packet",
+           static_cast<unsigned long long>(flow), cwnd);
+      return;
+    }
+    if (cwnd > cap) {
+      fail("dctcp-cwnd", "flow %llu cwnd %f above cap %f",
+           static_cast<unsigned long long>(flow), cwnd, cap);
+    }
+  }
+
+  // Fired after each data transmission with the packets then in flight: the
+  // sender must never run ahead of floor(cwnd) (minimum one).
+  void on_dctcp_send(std::uint64_t flow, std::uint32_t inflight, double cwnd) {
+    const double allowed = cwnd < 1.0 ? 1.0 : cwnd;
+    if (static_cast<double>(inflight) > allowed) {
+      fail("dctcp-inflight", "flow %llu has %u packets in flight with cwnd %f",
+           static_cast<unsigned long long>(flow), inflight, cwnd);
+    }
+  }
+
   // --- sharded runs (net/partition.hpp) ------------------------------------
   // Cross-shard mode: one packet's inject and deliver/drop hooks may run on
   // different shards' auditors, so an unknown key books a negative entry
@@ -471,6 +501,8 @@ class Auditor {
   void on_offset_grant(std::uint64_t, std::uint64_t, std::uint64_t) {}
   void on_grant_response(std::uint64_t, std::uint32_t, std::int64_t, std::uint64_t, bool) {}
   void on_flow_finished(std::uint64_t, std::uint32_t, std::uint32_t, std::uint32_t) {}
+  void on_dctcp_window(std::uint64_t, double, double, double) {}
+  void on_dctcp_send(std::uint64_t, std::uint32_t, double) {}
   void set_cross_shard(bool) {}
   void merge_from(const Auditor&) {}
   [[nodiscard]] std::uint64_t violation_count() const { return 0; }

@@ -10,7 +10,12 @@ void AntiEcnMarker::on_dequeue(net::Packet& pkt, sim::TimePoint tx_start,
   const bool first_use = !link_ever_used_;
   link_ever_used_ = true;
   if (first_use) probe_tx_ = rate.tx_time(probe_bytes_);
-  if (pkt.type != net::PacketType::kData || !pkt.ecn_capable || pkt.trimmed) return;
+  // Threshold-mode packets (DCTCP, Packet::threshold_ecn) carry the opposite
+  // CE semantics; on a mixed fabric they are left to the threshold marker.
+  if (pkt.type != net::PacketType::kData || !pkt.ecn_capable || pkt.trimmed ||
+      pkt.threshold_ecn) {
+    return;
+  }
 
   ++observed_;
   // Eq. (2): spare bandwidth iff the idle gap could have carried one more

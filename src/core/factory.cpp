@@ -1,6 +1,10 @@
 #include "core/factory.hpp"
 
+#include <utility>
+
 #include "core/anti_ecn.hpp"
+#include "core/threshold_ecn.hpp"
+#include "transport/dctcp.hpp"
 #include "transport/homa.hpp"
 #include "transport/ndp.hpp"
 #include "transport/phost.hpp"
@@ -22,6 +26,8 @@ std::unique_ptr<transport::TransportEndpoint> make_endpoint(Protocol proto, sim:
       return std::make_unique<transport::HomaEndpoint>(sim, host, cfg, observer);
     case Protocol::kNdp:
       return std::make_unique<transport::NdpEndpoint>(sim, host, cfg, observer);
+    case Protocol::kDctcp:
+      return std::make_unique<transport::DctcpEndpoint>(sim, host, cfg, observer);
   }
   return nullptr;
 }
@@ -34,6 +40,10 @@ net::QueueFactory make_queue_factory(Protocol proto, QueueConfig cfg) {
         return std::make_unique<net::TrimmingQueue>(cfg.trim_threshold);
       case Protocol::kHoma:
         return std::make_unique<net::StrictPriorityQueue>(cfg.priority_levels, cfg.buffer_pkts);
+      case Protocol::kDctcp:
+        // PIAS demotion needs the priority bands; the ECN marking itself is
+        // the dequeue marker's job, not the queue's.
+        return std::make_unique<net::StrictPriorityQueue>(cfg.priority_levels, cfg.buffer_pkts);
       case Protocol::kAmrt:
         if (cfg.selective_drop) return std::make_unique<net::SelectiveDropQueue>(cfg.buffer_pkts);
         return std::make_unique<net::DropTailQueue>(cfg.buffer_pkts);
@@ -44,9 +54,73 @@ net::QueueFactory make_queue_factory(Protocol proto, QueueConfig cfg) {
   };
 }
 
-net::MarkerFactory make_marker_factory(Protocol proto, std::uint32_t probe_bytes) {
-  if (proto != Protocol::kAmrt) return nullptr;
-  return [probe_bytes] { return std::make_unique<AntiEcnMarker>(probe_bytes); };
+net::MarkerFactory make_marker_factory(Protocol proto, std::uint32_t probe_bytes,
+                                       std::size_t ecn_threshold_pkts) {
+  if (proto == Protocol::kAmrt) {
+    return [probe_bytes] { return std::make_unique<AntiEcnMarker>(probe_bytes); };
+  }
+  if (proto == Protocol::kDctcp) {
+    return [ecn_threshold_pkts] { return std::make_unique<ThresholdEcnMarker>(ecn_threshold_pkts); };
+  }
+  return nullptr;
+}
+
+net::QueueFactory make_mixed_queue_factory(QueueConfig cfg) {
+  // Both populations share the PIAS strict-priority bands: AMRT data keeps
+  // priority 0, so it competes only with a DCTCP flow's first-threshold
+  // bytes — the PIAS contract for unknown-size foreground traffic.
+  return [cfg](bool host_nic) -> std::unique_ptr<net::EgressQueue> {
+    if (host_nic) return std::make_unique<net::DropTailQueue>(cfg.host_nic_pkts);
+    return std::make_unique<net::StrictPriorityQueue>(cfg.priority_levels, cfg.buffer_pkts);
+  };
+}
+
+net::MarkerFactory make_mixed_marker_factory(QueueConfig cfg, std::uint32_t probe_bytes) {
+  const std::size_t threshold = cfg.ecn_threshold_pkts;
+  return [probe_bytes, threshold] { return make_mixed_marker(probe_bytes, threshold); };
+}
+
+namespace {
+
+// Two full endpoints behind one PacketSink; each flow belongs to exactly one
+// of them, decided by the id predicate at both the sender and the receiver.
+class MixedEndpoint final : public transport::TransportEndpoint {
+ public:
+  MixedEndpoint(sim::Simulation& sim, net::Host& host, const transport::TransportConfig& cfg,
+                stats::FlowObserver* observer, std::function<bool(net::FlowId)> is_background)
+      : TransportEndpoint{sim, host, cfg, observer},
+        is_background_{std::move(is_background)},
+        amrt_{sim, host, cfg, observer},
+        dctcp_{sim, host, cfg, observer} {}
+
+  void start_flow(const transport::FlowSpec& spec) override { sub(spec.id).start_flow(spec); }
+
+ protected:
+  // deliver() already split by type; re-join and re-dispatch by flow so each
+  // sub-endpoint sees the packet through its own deliver() path.
+  void on_data(net::Packet&& pkt) override { forward(std::move(pkt)); }
+  void on_rts(net::Packet&& pkt) override { forward(std::move(pkt)); }
+  void on_grant(net::Packet&& pkt) override { forward(std::move(pkt)); }
+  void on_done(net::Packet&& pkt) override { forward(std::move(pkt)); }
+
+ private:
+  void forward(net::Packet&& pkt) { sub(pkt.flow).deliver(std::move(pkt)); }
+  [[nodiscard]] transport::TransportEndpoint& sub(net::FlowId id) {
+    return is_background_(id) ? static_cast<transport::TransportEndpoint&>(dctcp_)
+                              : static_cast<transport::TransportEndpoint&>(amrt_);
+  }
+
+  std::function<bool(net::FlowId)> is_background_;
+  AmrtEndpoint amrt_;
+  transport::DctcpEndpoint dctcp_;
+};
+
+}  // namespace
+
+std::unique_ptr<transport::TransportEndpoint> make_mixed_endpoint(
+    sim::Simulation& sim, net::Host& host, const transport::TransportConfig& cfg,
+    stats::FlowObserver* observer, std::function<bool(net::FlowId)> is_background) {
+  return std::make_unique<MixedEndpoint>(sim, host, cfg, observer, std::move(is_background));
 }
 
 }  // namespace amrt::core

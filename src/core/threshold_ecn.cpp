@@ -1,0 +1,62 @@
+#include "core/threshold_ecn.hpp"
+
+#include "core/anti_ecn.hpp"
+#include "net/queue.hpp"
+
+namespace amrt::core {
+
+void ThresholdEcnMarker::on_dequeue(net::Packet& pkt, sim::TimePoint tx_start,
+                                    sim::TimePoint last_tx_end, sim::Bandwidth rate) {
+  (void)tx_start;
+  (void)last_tx_end;
+  (void)rate;
+  if (pkt.type != net::PacketType::kData || !pkt.ecn_capable || pkt.trimmed ||
+      !pkt.threshold_ecn) {
+    return;
+  }
+  ++observed_;
+  // The marker runs after the packet left the queue, so data_pkts() is the
+  // backlog still behind it — the instantaneous depth DCTCP thresholds on.
+  const bool mark = queue_ != nullptr && queue_->data_pkts() >= threshold_;
+  pkt.ce = pkt.ce || mark;
+#ifdef AMRT_AUDIT
+  // OR-mode shadow of the CE bit, the dual of the anti-ECN AND shadow: a
+  // congested hop may set it, nothing downstream may clear it.
+  pkt.audit_ce_expected = pkt.audit_ce_expected || mark;
+#endif
+  if (mark) ++marked_;
+}
+
+namespace {
+
+// Both semantics on one port: forward to the anti-ECN and threshold markers
+// in turn; their Packet::threshold_ecn filters make the pair commutative.
+class MixedMarker final : public net::DequeueMarker {
+ public:
+  MixedMarker(std::uint32_t probe_bytes, std::size_t threshold_pkts)
+      : anti_{probe_bytes}, threshold_{threshold_pkts} {}
+
+  void bind_queue(const net::EgressQueue& queue) override {
+    anti_.bind_queue(queue);
+    threshold_.bind_queue(queue);
+  }
+
+  void on_dequeue(net::Packet& pkt, sim::TimePoint tx_start, sim::TimePoint last_tx_end,
+                  sim::Bandwidth rate) override {
+    anti_.on_dequeue(pkt, tx_start, last_tx_end, rate);
+    threshold_.on_dequeue(pkt, tx_start, last_tx_end, rate);
+  }
+
+ private:
+  AntiEcnMarker anti_;
+  ThresholdEcnMarker threshold_;
+};
+
+}  // namespace
+
+std::unique_ptr<net::DequeueMarker> make_mixed_marker(std::uint32_t probe_bytes,
+                                                      std::size_t threshold_pkts) {
+  return std::make_unique<MixedMarker>(probe_bytes, threshold_pkts);
+}
+
+}  // namespace amrt::core

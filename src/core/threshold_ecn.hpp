@@ -1,0 +1,47 @@
+// Conventional threshold ECN marking (the DCTCP switch side), plus the
+// composite marker a mixed AMRT/DCTCP fabric needs.
+//
+// Where AMRT's anti-ECN marker measures idle gaps and ANDs the CE bit down
+// (spare bandwidth), a DCTCP switch looks at its own backlog: a departing
+// data packet is marked when the egress data band still holds at least K
+// packets. Senders emit CE=0 and any congested hop ORs the bit up, so the
+// receiver's echo reports "some bottleneck was deep" — the exact dual of
+// Eq. 3. The two semantics are told apart per packet by
+// Packet::threshold_ecn: each marker acts only on its own population, which
+// is what lets both run on the same port of a shared fabric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/marker.hpp"
+
+namespace amrt::core {
+
+class ThresholdEcnMarker final : public net::DequeueMarker {
+ public:
+  // `threshold_pkts` is DCTCP's K, in data packets of the egress queue.
+  explicit ThresholdEcnMarker(std::size_t threshold_pkts) : threshold_{threshold_pkts} {}
+
+  void bind_queue(const net::EgressQueue& queue) override { queue_ = &queue; }
+  void on_dequeue(net::Packet& pkt, sim::TimePoint tx_start, sim::TimePoint last_tx_end,
+                  sim::Bandwidth rate) override;
+
+  [[nodiscard]] std::size_t threshold() const { return threshold_; }
+  [[nodiscard]] std::uint64_t observed() const { return observed_; }
+  [[nodiscard]] std::uint64_t marked() const { return marked_; }
+
+ private:
+  std::size_t threshold_;
+  const net::EgressQueue* queue_ = nullptr;
+  std::uint64_t observed_ = 0;
+  std::uint64_t marked_ = 0;
+};
+
+// One marker per mixed-fabric port holding both semantics; each inner marker
+// filters on Packet::threshold_ecn, so forwarding every packet to both is
+// correct. Built by make_mixed_marker_factory (core/factory.hpp).
+[[nodiscard]] std::unique_ptr<net::DequeueMarker> make_mixed_marker(std::uint32_t probe_bytes,
+                                                                    std::size_t threshold_pkts);
+
+}  // namespace amrt::core

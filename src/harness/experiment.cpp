@@ -13,6 +13,7 @@
 #include "net/partition.hpp"
 #include "net/topology.hpp"
 #include "sim/shard.hpp"
+#include "stats/summary.hpp"
 
 namespace amrt::harness {
 
@@ -22,6 +23,33 @@ void write_fct_csv(std::ostream& os, const std::vector<stats::FlowRecord>& recor
     os << r.flow << ',' << r.bytes << ',' << r.start.to_micros() << ',' << r.end.to_micros()
        << ',' << r.fct().to_micros() << '\n';
   }
+}
+
+bool is_background_flow(net::FlowId id, double fraction) {
+  if (fraction <= 0.0) return false;
+  if (fraction >= 1.0) return true;
+  const auto cut = static_cast<net::FlowId>(fraction * 100.0 + 0.5);
+  return (id % 100) < cut;
+}
+
+stats::FctSummary summarize_records(const std::vector<stats::FlowRecord>& records) {
+  stats::FctSummary out;
+  out.started = records.size();
+  out.completed = records.size();
+  if (records.empty()) return out;
+  std::vector<double> fcts;
+  fcts.reserve(records.size());
+  double sum = 0.0;
+  for (const auto& r : records) {
+    const double fct_us = r.fct().to_micros();
+    fcts.push_back(fct_us);
+    sum += fct_us;
+    out.max_fct_us = std::max(out.max_fct_us, fct_us);
+  }
+  out.afct_us = sum / static_cast<double>(fcts.size());
+  out.p50_us = stats::percentile(fcts, 0.50);
+  out.p99_us = stats::percentile(fcts, 0.99);
+  return out;
 }
 
 namespace {
@@ -67,6 +95,11 @@ ExperimentResult run_leaf_spine_sharded(const ExperimentConfig& cfg) {
         "run_leaf_spine: fault injection and sharded execution are mutually exclusive "
         "(the injector mutates link state from a serial-only control path)");
   }
+  if (cfg.background_dctcp_fraction > 0.0) {
+    throw std::invalid_argument(
+        "run_leaf_spine: mixed transports are serial-only (the coexistence metrics "
+        "need the serial utilization samplers)");
+  }
 
   sim::ShardGroup group{cfg.seed, cfg.shards};
   net::Network network{group.master()};
@@ -79,7 +112,8 @@ ExperimentResult run_leaf_spine_sharded(const ExperimentConfig& cfg) {
   topo_cfg.link_delay = cfg.link_delay;
   topo_cfg.host_nic_queue_pkts = cfg.queues.host_nic_pkts;
   topo_cfg.queue_factory = core::make_queue_factory(cfg.proto, cfg.queues);
-  topo_cfg.marker_factory = core::make_marker_factory(cfg.proto);
+  topo_cfg.marker_factory =
+      core::make_marker_factory(cfg.proto, net::kMtuBytes, cfg.queues.ecn_threshold_pkts);
   topo_cfg.multipath = cfg.multipath;
   net::LeafSpine topo = net::build_leaf_spine(network, topo_cfg);
 
@@ -126,6 +160,7 @@ ExperimentResult run_leaf_spine_sharded(const ExperimentConfig& cfg) {
   out.fct_all = recorder.summarize();
   out.fct_small = recorder.summarize(0, 100'000);
   out.fct_large = recorder.summarize(1'000'000, UINT64_MAX);
+  out.fct_foreground = out.fct_all;  // sharded runs are single-transport
   out.flows_started = recorder.started_count();
   out.flows_completed = recorder.completed().size();
   out.flow_records = recorder.completed();
@@ -163,6 +198,13 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
 
   const auto wall_start = std::chrono::steady_clock::now();
 
+  const bool mixed = cfg.background_dctcp_fraction > 0.0;
+  if (mixed && cfg.proto != transport::Protocol::kAmrt) {
+    throw std::invalid_argument(
+        "run_leaf_spine: background_dctcp_fraction pairs DCTCP background with AMRT "
+        "foreground; set proto = kAmrt");
+  }
+
   sim::Simulation simu{cfg.seed};
   sim::Scheduler& sched = simu.scheduler();
   net::Network network{simu};
@@ -174,8 +216,11 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   topo_cfg.link_rate = cfg.link_rate;
   topo_cfg.link_delay = cfg.link_delay;
   topo_cfg.host_nic_queue_pkts = cfg.queues.host_nic_pkts;
-  topo_cfg.queue_factory = core::make_queue_factory(cfg.proto, cfg.queues);
-  topo_cfg.marker_factory = core::make_marker_factory(cfg.proto);
+  topo_cfg.queue_factory = mixed ? core::make_mixed_queue_factory(cfg.queues)
+                                 : core::make_queue_factory(cfg.proto, cfg.queues);
+  topo_cfg.marker_factory =
+      mixed ? core::make_mixed_marker_factory(cfg.queues)
+            : core::make_marker_factory(cfg.proto, net::kMtuBytes, cfg.queues.ecn_threshold_pkts);
   topo_cfg.multipath = cfg.multipath;
   net::LeafSpine topo = net::build_leaf_spine(network, topo_cfg);
 
@@ -209,8 +254,12 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   stats::FctRecorder recorder{cfg.link_rate, topo.base_rtt};
   std::vector<transport::TransportEndpoint*> endpoints;
   endpoints.reserve(topo.hosts.size());
+  const double bg_fraction = cfg.background_dctcp_fraction;
   for (net::Host* host : topo.hosts) {
-    auto ep = core::make_endpoint(cfg.proto, simu, *host, tcfg, &recorder);
+    auto ep = mixed ? core::make_mixed_endpoint(
+                          simu, *host, tcfg, &recorder,
+                          [bg_fraction](net::FlowId id) { return is_background_flow(id, bg_fraction); })
+                    : core::make_endpoint(cfg.proto, simu, *host, tcfg, &recorder);
     endpoints.push_back(ep.get());
     host->attach(std::move(ep));
   }
@@ -278,10 +327,24 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   out.events = sched.events_processed();
   out.sim_seconds = sched.now().to_seconds();
 
+  if (mixed) {
+    std::vector<stats::FlowRecord> fg;
+    std::vector<stats::FlowRecord> bg;
+    for (const auto& r : out.flow_records) {
+      (is_background_flow(r.flow, bg_fraction) ? bg : fg).push_back(r);
+    }
+    out.fct_foreground = summarize_records(fg);
+    out.fct_background = summarize_records(bg);
+  } else {
+    out.fct_foreground = out.fct_all;
+  }
+
   double util_sum = 0.0;
   double weight_sum = 0.0;
+  out.downlink_utilization.reserve(downlinks.size());
   for (const auto& s : downlinks) {
     const auto u = active_window_utilization(*s);
+    out.downlink_utilization.push_back(u.utilization < 0.0 ? 0.0 : u.utilization);
     if (u.utilization >= 0.0) {
       util_sum += u.utilization * u.weight_bytes;
       weight_sum += u.weight_bytes;

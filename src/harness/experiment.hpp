@@ -29,6 +29,14 @@ struct ExperimentConfig {
   sim::Bandwidth link_rate = sim::Bandwidth::gbps(10);
   sim::Duration link_delay = sim::Duration::microseconds(10);
 
+  // Mixed transports (DESIGN.md §13): fraction of flows, by id, carried by
+  // DCTCP background senders instead of `proto`. 0 = single-transport run
+  // (byte-identical to older builds). When set, `proto` must be kAmrt — the
+  // mixed fabric pairs AMRT foreground with DCTCP background — the fabric
+  // switches to strict-priority queues with both ECN markers, and both ends
+  // of every flow dispatch it by is_background_flow(). Serial-only.
+  double background_dctcp_fraction = 0.0;
+
   core::QueueConfig queues{};
   int homa_overcommit = 2;
   // Zero = per-protocol default (see TransportConfig::default_loss_timeout).
@@ -63,7 +71,15 @@ struct ExperimentResult {
   stats::FctSummary fct_all;
   stats::FctSummary fct_small;  // flows < 100KB
   stats::FctSummary fct_large;  // flows >= 1MB
+  // Mixed runs: AMRT foreground vs DCTCP background split of fct_all
+  // (no slowdown; computed from the flow records). Single-transport runs
+  // put everything in fct_foreground.
+  stats::FctSummary fct_foreground;
+  stats::FctSummary fct_background;
   double mean_utilization = 0;  // over active receiver downlinks
+  // Per-receiver-downlink active-window utilization, in topology order
+  // (leaf-major, host-minor); 0 for never-active ports. Serial runs only.
+  std::vector<double> downlink_utilization;
   std::size_t max_queue_pkts = 0;
   std::uint64_t drops = 0;  // across all switch ports
   std::uint64_t trims = 0;
@@ -81,6 +97,16 @@ struct ExperimentResult {
 
 // Dumps `flow_records` as CSV: flow,bytes,start_us,end_us,fct_us.
 void write_fct_csv(std::ostream& os, const std::vector<stats::FlowRecord>& records);
+
+// The mixed-transport dispatch rule, shared by the harness, the fuzzer and
+// the benches: a flow is DCTCP background iff its id falls in the first
+// round(fraction*100) residues mod 100. Pure in the id, so the sender and
+// receiver ends (and any post-processing) always agree.
+[[nodiscard]] bool is_background_flow(net::FlowId id, double fraction);
+
+// FctSummary over an arbitrary record subset (no slowdown; used for the
+// foreground/background split, where one recorder served both classes).
+[[nodiscard]] stats::FctSummary summarize_records(const std::vector<stats::FlowRecord>& records);
 
 [[nodiscard]] ExperimentResult run_leaf_spine(const ExperimentConfig& cfg);
 

@@ -8,6 +8,7 @@
 #include "audit/auditor.hpp"
 #include "core/factory.hpp"
 #include "fault/fault.hpp"
+#include "harness/experiment.hpp"
 #include "harness/sharded.hpp"
 #include "harness/sweep.hpp"
 #include "net/partition.hpp"
@@ -35,7 +36,8 @@ std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
 }
 
 std::uint64_t case_salt(const CaseConfig& c) {
-  return (static_cast<std::uint64_t>(c.topo) << 8) | static_cast<std::uint64_t>(c.proto);
+  return (static_cast<std::uint64_t>(c.topo) << 8) | static_cast<std::uint64_t>(c.proto) |
+         (c.mixed ? (1ULL << 16) : 0ULL);
 }
 
 struct Fnv {
@@ -62,6 +64,8 @@ struct CaseParams {
   workload::Kind workload = workload::Kind::kWebSearch;
   double load = 0.5;
   std::size_t n_flows = 16;
+  // Mixed cases only: fraction of flows (by id residue) that run DCTCP.
+  double background_fraction = 0.0;
 };
 
 CaseParams draw_params(const CaseConfig& c, sim::Rng& rng) {
@@ -91,7 +95,22 @@ CaseParams draw_params(const CaseConfig& c, sim::Rng& rng) {
   p.n_flows = static_cast<std::size_t>(rng.uniform_int(8, 40));
   // Drawn last so the older topologies' parameter streams are unchanged.
   p.fat_k = rng.bernoulli(0.5) ? 6 : 4;
+  // Mixed-only draw, strictly after every single-transport draw: non-mixed
+  // cases consume exactly the old stream.
+  if (c.mixed) p.background_fraction = rng.uniform(0.2, 0.7);
   return p;
+}
+
+// Factory selection shared by the four topology builders: mixed cases get
+// the strict-priority fabric with both ECN markers; everything else keeps
+// the per-protocol factories bit-for-bit.
+net::QueueFactory case_queue_factory(const CaseConfig& c, const CaseParams& p) {
+  return c.mixed ? core::make_mixed_queue_factory(p.queues)
+                 : core::make_queue_factory(c.proto, p.queues);
+}
+
+net::MarkerFactory case_marker_factory(const CaseConfig& c, const CaseParams& p) {
+  return c.mixed ? core::make_mixed_marker_factory(p.queues) : core::make_marker_factory(c.proto);
 }
 
 // A built scenario ready to run: the network plus per-host endpoints and
@@ -110,8 +129,8 @@ Scenario build_leaf_spine_case(net::Network& network, const CaseConfig& c, const
   topo_cfg.link_rate = p.link_rate;
   topo_cfg.link_delay = p.link_delay;
   topo_cfg.host_nic_queue_pkts = p.queues.host_nic_pkts;
-  topo_cfg.queue_factory = core::make_queue_factory(c.proto, p.queues);
-  topo_cfg.marker_factory = core::make_marker_factory(c.proto);
+  topo_cfg.queue_factory = case_queue_factory(c, p);
+  topo_cfg.marker_factory = case_marker_factory(c, p);
   net::LeafSpine topo = net::build_leaf_spine(network, topo_cfg);
   Scenario s;
   s.hosts = topo.hosts;
@@ -120,8 +139,8 @@ Scenario build_leaf_spine_case(net::Network& network, const CaseConfig& c, const
 }
 
 Scenario build_dumbbell_case(net::Network& network, const CaseConfig& c, const CaseParams& p) {
-  auto qf = core::make_queue_factory(c.proto, p.queues);
-  auto mf = core::make_marker_factory(c.proto);
+  auto qf = case_queue_factory(c, p);
+  auto mf = case_marker_factory(c, p);
   auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
   const auto rate = p.link_rate;
   const auto delay = p.link_delay;
@@ -158,8 +177,8 @@ Scenario build_dumbbell_case(net::Network& network, const CaseConfig& c, const C
 }
 
 Scenario build_chain_case(net::Network& network, const CaseConfig& c, const CaseParams& p) {
-  auto qf = core::make_queue_factory(c.proto, p.queues);
-  auto mf = core::make_marker_factory(c.proto);
+  auto qf = case_queue_factory(c, p);
+  auto mf = case_marker_factory(c, p);
   auto marker = [&]() -> std::unique_ptr<net::DequeueMarker> { return mf ? mf() : nullptr; };
   const auto rate = p.link_rate;
   const auto delay = p.link_delay;
@@ -212,8 +231,8 @@ Scenario build_fat_tree_case(net::Network& network, const CaseConfig& c, const C
   topo_cfg.link_rate = p.link_rate;
   topo_cfg.link_delay = p.link_delay;
   topo_cfg.host_nic_queue_pkts = p.queues.host_nic_pkts;
-  topo_cfg.queue_factory = core::make_queue_factory(c.proto, p.queues);
-  topo_cfg.marker_factory = core::make_marker_factory(c.proto);
+  topo_cfg.queue_factory = case_queue_factory(c, p);
+  topo_cfg.marker_factory = case_marker_factory(c, p);
   net::FatTree topo = net::build_fat_tree(network, topo_cfg);
   Scenario s;
   s.hosts = topo.hosts;
@@ -467,13 +486,22 @@ std::string repro_line(const CaseConfig& c) {
   return std::string{"scenario_fuzz --seed "} + std::to_string(c.seed) + " --topo " +
          to_string(c.topo) + " --transport " + transport::to_string(c.proto) +
          (c.faults ? " --faults" : "") +
-         (c.shards > 1 ? " --shards " + std::to_string(c.shards) : "");
+         (c.shards > 1 ? " --shards " + std::to_string(c.shards) : "") +
+         (c.mixed ? " --mixed" : "");
 }
 
 CaseResult run_case(const CaseConfig& c) {
   // A fail-fast audit abort anywhere below prints this line.
   audit::set_context(repro_line(c));
 
+  if (c.mixed && c.proto != Protocol::kAmrt) {
+    throw std::invalid_argument("fuzz: --mixed requires --transport AMRT "
+                                "(the foreground transport is fixed; DCTCP rides as background)");
+  }
+  if (c.mixed && c.shards > 1) {
+    throw std::invalid_argument("fuzz: --mixed and --shards are mutually exclusive "
+                                "(mixed transports are serial-only)");
+  }
   if (c.shards > 1) return run_case_sharded(c);
 
   sim::Rng draw{mix(c.seed, case_salt(c))};
@@ -501,7 +529,12 @@ CaseResult run_case(const CaseConfig& c) {
   stats::FctRecorder recorder{params.link_rate, scen.base_rtt};
   scen.endpoints.reserve(scen.hosts.size());
   for (net::Host* host : scen.hosts) {
-    auto ep = core::make_endpoint(c.proto, simu, *host, tcfg, &recorder);
+    auto ep = c.mixed ? core::make_mixed_endpoint(
+                            simu, *host, tcfg, &recorder,
+                            [frac = params.background_fraction](net::FlowId id) {
+                              return is_background_flow(id, frac);
+                            })
+                      : core::make_endpoint(c.proto, simu, *host, tcfg, &recorder);
     scen.endpoints.push_back(ep.get());
     host->attach(std::move(ep));
   }
@@ -544,8 +577,11 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
     // forcing every caller to trim the default topology list.
     if (opts.shards > 1 && topo != Topo::kFatTree && topo != Topo::kLeafSpine) continue;
     for (const Protocol proto : opts.protocols) {
+      // Mixed sweeps fix the foreground transport: only the AMRT axis runs.
+      if (opts.mixed && proto != Protocol::kAmrt) continue;
       for (std::uint64_t s = 0; s < opts.seeds; ++s) {
-        cases.push_back(CaseConfig{opts.first_seed + s, topo, proto, opts.faults, opts.shards});
+        cases.push_back(
+            CaseConfig{opts.first_seed + s, topo, proto, opts.faults, opts.shards, opts.mixed});
       }
     }
   }

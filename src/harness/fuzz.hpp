@@ -59,6 +59,14 @@ struct CaseConfig {
   // unchanged: completion, physics, queue accounting and the (merged)
   // audit ledger must hold for every shard count.
   unsigned shards = 1;
+  // Mixed transports (DESIGN.md §13): AMRT foreground plus a drawn fraction
+  // of DCTCP background flows on a shared strict-priority fabric with both
+  // ECN markers. Requires proto == kAmrt (the foreground transport); the
+  // background fraction is drawn after every pre-existing draw, so non-mixed
+  // cases replay bit-identically. Serial-only (mutually exclusive with
+  // shards > 1). The oracles are unchanged — completion, physics, queue
+  // accounting and the audit ledger hold for both populations.
+  bool mixed = false;
 };
 
 struct CaseResult {
@@ -97,6 +105,10 @@ struct FuzzOptions {
   // Run every case partitioned across this many shards. Values > 1 restrict
   // the sweep to the partitionable topologies (fat-tree, leaf-spine).
   unsigned shards = 1;
+  // Mixed-transport cases: AMRT foreground + DCTCP background. Restricts the
+  // protocol axis to kAmrt (the foreground transport is fixed; the DCTCP
+  // population rides inside the case). Mutually exclusive with shards > 1.
+  bool mixed = false;
   unsigned threads = 0;  // SweepRunner: 0 = one per hardware core
   // Called after each case (serialized), for progress/reporting.
   std::function<void(const CaseConfig&, const CaseResult&)> on_case;

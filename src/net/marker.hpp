@@ -14,6 +14,8 @@
 
 namespace amrt::net {
 
+class EgressQueue;
+
 class DequeueMarker {
  public:
   virtual ~DequeueMarker() = default;
@@ -23,6 +25,12 @@ class DequeueMarker {
   // `rate`         — the port's line rate (the C of Eq. 2).
   virtual void on_dequeue(Packet& pkt, sim::TimePoint tx_start,
                           sim::TimePoint last_tx_end, sim::Bandwidth rate) = 0;
+
+  // Called once when the marker is attached to a port, with the port's
+  // egress queue. Depth-based markers (threshold ECN) keep the reference;
+  // gap-based markers (anti-ECN) ignore it — the default is a no-op so the
+  // on_dequeue signature and its many standalone test call sites stay put.
+  virtual void bind_queue(const EgressQueue& queue) { (void)queue; }
 };
 
 using MarkerFactory = std::function<std::unique_ptr<DequeueMarker>()>;

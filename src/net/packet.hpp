@@ -50,6 +50,11 @@ struct Packet {
   std::uint8_t priority = 0;   // 0 = highest; used by StrictPriorityQueue (Homa)
   bool ecn_capable = false;    // AMRT data packets participate in anti-ECN marking
   bool ce = false;             // anti-ECN: senders emit CE=1, switches AND it down (Eq. 3)
+  // Conventional threshold ECN (DCTCP): senders emit CE=0, switches OR it up
+  // when the egress backlog is deep. Mutually exclusive with the anti-ECN
+  // interpretation above, so mixed fabrics carry both semantics side by side
+  // and each marker acts only on its own packets.
+  bool threshold_ecn = false;
   bool trimmed = false;        // NDP: payload removed by an overloaded queue
   bool unscheduled = false;    // sent blind in the first BDP (Aeolus-style drop preference)
 

@@ -32,6 +32,7 @@ void EgressPort::connect(Network& net, NodeId peer, int peer_ingress_port) {
 }
 
 void EgressPort::add_marker(std::unique_ptr<DequeueMarker> marker) {
+  marker->bind_queue(*queue_);
   markers_.push_back(std::move(marker));
 }
 

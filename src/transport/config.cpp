@@ -10,6 +10,7 @@ const char* to_string(Protocol p) {
     case Protocol::kPhost: return "pHost";
     case Protocol::kHoma: return "Homa";
     case Protocol::kNdp: return "NDP";
+    case Protocol::kDctcp: return "DCTCP";
   }
   return "?";
 }
@@ -19,6 +20,7 @@ Protocol protocol_from_string(const std::string& name) {
   if (name == "pHost" || name == "phost") return Protocol::kPhost;
   if (name == "Homa" || name == "homa") return Protocol::kHoma;
   if (name == "NDP" || name == "ndp") return Protocol::kNdp;
+  if (name == "DCTCP" || name == "dctcp") return Protocol::kDctcp;
   throw std::invalid_argument("unknown protocol: " + name);
 }
 

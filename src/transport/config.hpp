@@ -13,7 +13,7 @@
 
 namespace amrt::transport {
 
-enum class Protocol : std::uint8_t { kAmrt, kPhost, kHoma, kNdp };
+enum class Protocol : std::uint8_t { kAmrt, kPhost, kHoma, kNdp, kDctcp };
 
 [[nodiscard]] const char* to_string(Protocol p);
 [[nodiscard]] Protocol protocol_from_string(const std::string& name);
@@ -75,6 +75,25 @@ struct TransportConfig {
   // Exposed for the ablation benches.
   std::uint16_t amrt_marked_allowance = 2;
 
+  // --- DCTCP (sender-driven wing, DESIGN.md §13) --------------------------
+  // The windowed sender is clocked by per-packet ACKs; switches mark CE when
+  // the egress data backlog is at least `dctcp_ecn_threshold_pkts` (the K of
+  // the DCTCP paper), and the sender cuts its window by the marked-fraction
+  // EWMA (gain g). Windows are counted in packets, not bytes: every data
+  // packet is one MSS on the wire except a flow's short tail.
+  double dctcp_g = 1.0 / 16.0;
+  std::uint32_t dctcp_init_cwnd_pkts = 10;
+  std::size_t dctcp_ecn_threshold_pkts = 20;
+  // Hard cap on cwnd; 0 = derive from BDP (see dctcp_cwnd_cap_pkts()).
+  std::uint32_t dctcp_cwnd_cap = 0;
+
+  // PIAS-style multi-level feedback: a flow's data starts at priority 0 and
+  // is demoted one level each time its cumulative bytes sent cross the next
+  // threshold T_l = pias_base_threshold_bytes << l. Rides the same
+  // strict-priority egress bands Homa uses.
+  std::uint64_t pias_base_threshold_bytes = 50'000;
+  std::uint8_t pias_levels = 8;
+
   // --- derived quantities ---
   [[nodiscard]] std::uint32_t bdp_packets() const {
     const std::int64_t bytes = host_rate.bytes_in(base_rtt);
@@ -89,6 +108,13 @@ struct TransportConfig {
     return p == Protocol::kAmrt ? base_rtt : base_rtt * 3;
   }
   [[nodiscard]] sim::Duration phost_downgrade_timeout() const { return base_rtt * 3; }
+  [[nodiscard]] std::uint32_t dctcp_cwnd_cap_pkts() const {
+    if (dctcp_cwnd_cap != 0) return dctcp_cwnd_cap;
+    // Generous by design: the cap is a sanity bound (audited), not the
+    // congestion control — 8x BDP leaves slow start room to overshoot.
+    const std::uint32_t cap = bdp_packets() * 8;
+    return cap < 64 ? 64 : cap;
+  }
 };
 
 }  // namespace amrt::transport

@@ -178,6 +178,7 @@ TEST(Determinism, GoldenSeedFctFixtureUnchanged) {
       {transport::Protocol::kPhost, kGoldenFctPhost, std::size(kGoldenFctPhost)},
       {transport::Protocol::kHoma, kGoldenFctHoma, std::size(kGoldenFctHoma)},
       {transport::Protocol::kNdp, kGoldenFctNdp, std::size(kGoldenFctNdp)},
+      {transport::Protocol::kDctcp, kGoldenFctDctcp, std::size(kGoldenFctDctcp)},
   };
   for (const auto& fixture : fixtures) {
     SCOPED_TRACE(transport::to_string(fixture.proto));

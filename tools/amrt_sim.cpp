@@ -26,7 +26,10 @@ namespace {
 void usage() {
   std::puts(
       "amrt_sim [options]\n"
-      "  --proto=AMRT|pHost|Homa|NDP   transport under test (default AMRT)\n"
+      "  --proto=AMRT|pHost|Homa|NDP|DCTCP   transport under test (default AMRT)\n"
+      "  --mixed=FRAC                  carry FRAC of flows (by id) on DCTCP background\n"
+      "                                senders under an AMRT foreground (requires\n"
+      "                                --proto=AMRT; serial-only — excludes --shards)\n"
       "  --workload=WSv|CF|HC|WSc|DM   flow-size distribution (default WSc)\n"
       "  --load=X                      offered load fraction (default 0.5)\n"
       "  --flows=N                     number of flows (default 400)\n"
@@ -78,6 +81,8 @@ int main(int argc, char** argv) {
     try {
       if (match(arg, "--proto=", v)) {
         cfg.proto = transport::protocol_from_string(v);
+      } else if (match(arg, "--mixed=", v)) {
+        cfg.background_dctcp_fraction = std::stod(v);
       } else if (match(arg, "--workload=", v)) {
         cfg.workload = workload::kind_from_string(v);
       } else if (match(arg, "--load=", v)) {
@@ -137,6 +142,16 @@ int main(int argc, char** argv) {
   if (cfg.shards > 1 && cfg.fault_incidents > 0) {
     std::fprintf(stderr, "amrt_sim: --faults and --shards are mutually exclusive\n");
     return 2;
+  }
+  if (cfg.background_dctcp_fraction > 0.0) {
+    if (cfg.proto != transport::Protocol::kAmrt) {
+      std::fprintf(stderr, "amrt_sim: --mixed requires --proto=AMRT\n");
+      return 2;
+    }
+    if (cfg.shards > 1) {
+      std::fprintf(stderr, "amrt_sim: --mixed and --shards are mutually exclusive\n");
+      return 2;
+    }
   }
 
   // One point per seed; a single run is just a one-point sweep.
@@ -207,6 +222,12 @@ int main(int argc, char** argv) {
     std::printf("  FCT:          avg %.1fus, p99 %.1fus, small %.1fus, large %.1fus, slowdown %.2f\n",
                 r.fct_all.afct_us, r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
                 r.fct_all.mean_slowdown);
+    if (p.background_dctcp_fraction > 0.0) {
+      std::printf("  foreground:   AMRT avg %.1fus, p99 %.1fus (%zu flows)\n",
+                  r.fct_foreground.afct_us, r.fct_foreground.p99_us, r.fct_foreground.completed);
+      std::printf("  background:   DCTCP avg %.1fus, p99 %.1fus (%zu flows)\n",
+                  r.fct_background.afct_us, r.fct_background.p99_us, r.fct_background.completed);
+    }
     std::printf("  utilization:  %.1f%% (byte-weighted over active downlinks)\n",
                 100.0 * r.mean_utilization);
     std::printf("  max queue:    %zu packets\n", r.max_queue_pkts);

@@ -27,6 +27,17 @@ benchmark) instead of running anything:
     python3 tools/bench_compare.py --scale old.json new.json
 
 which prints per-transport deltas of wall time, events/sec and peak RSS.
+
+A third mode diffs two bench_coexist JSON reports (the mixed-transport
+leaf-spine macro benchmark, DESIGN.md section 13):
+
+    python3 tools/bench_compare.py --coexist bench/baselines/coexist_leafspine.json new.json
+
+which prints per-mode (amrt_solo / dctcp_solo / mixed) deltas of average and
+p99 FCT, mean downlink utilization and the foreground/background FCT split.
+--fail-above here gates the worst p99-FCT ratio, not wall time: the coexist
+benchmark exists to catch behavioural regressions (foreground tail blowing
+up when background DCTCP flows join), not machine noise.
 """
 
 import argparse
@@ -127,6 +138,47 @@ def compare_scale(baseline_path, test_path, fail_above):
         sys.exit(f"FAIL: worst ratio {worst:.3f} exceeds --fail-above {fail_above}")
 
 
+def compare_coexist(baseline_path, test_path, fail_above):
+    base = load_scale_report(baseline_path)
+    test = load_scale_report(test_path)
+    names = sorted(set(base) & set(test))
+    if not names:
+        sys.exit("error: the two reports share no benchmark names")
+    gone = sorted(set(base) - set(test))
+    if gone:
+        print(f"(modes present only in the baseline: {', '.join(gone)})")
+
+    wname = max(len(n) for n in names)
+    header = (f"{'mode':<{wname}}  {'afct old':>10}  {'afct new':>10}  "
+              f"{'p99 old':>10}  {'p99 new':>10}  {'ratio':>6}  "
+              f"{'util old':>8}  {'util new':>8}")
+    print(header)
+    print("-" * len(header))
+    worst = 0.0
+    for name in names:
+        b, t = base[name], test[name]
+        ratio = t["p99_us"] / b["p99_us"] if b["p99_us"] else float("inf")
+        worst = max(worst, ratio)
+        print(f"{name:<{wname}}  {b['afct_us']:>8.1f}us  {t['afct_us']:>8.1f}us  "
+              f"{b['p99_us']:>8.1f}us  {t['p99_us']:>8.1f}us  {ratio:>6.3f}  "
+              f"{b.get('mean_utilization', 0) * 100:>7.1f}%  "
+              f"{t.get('mean_utilization', 0) * 100:>7.1f}%")
+        for pop in ("foreground", "background"):
+            bs, ts = b.get(pop, {}), t.get(pop, {})
+            if bs.get("completed", 0) == 0 and ts.get("completed", 0) == 0:
+                continue
+            print(f"{'  ' + pop:<{wname}}  {bs.get('afct_us', 0):>8.1f}us  "
+                  f"{ts.get('afct_us', 0):>8.1f}us  {bs.get('p99_us', 0):>8.1f}us  "
+                  f"{ts.get('p99_us', 0):>8.1f}us  {'':>6}  "
+                  f"{bs.get('completed', 0):>7}f  {ts.get('completed', 0):>7}f")
+    print("\n(simulated FCT; ratio is p99 new/old, < 1 means the candidate improved)")
+    for name in sorted(set(test) - set(base)):
+        t = test[name]
+        print(f"new: {name}  afct {t['afct_us']:.1f}us  p99 {t['p99_us']:.1f}us")
+    if fail_above is not None and worst > fail_above:
+        sys.exit(f"FAIL: worst p99 ratio {worst:.3f} exceeds --fail-above {fail_above}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     src = ap.add_mutually_exclusive_group(required=True)
@@ -134,6 +186,8 @@ def main():
     src.add_argument("--baseline-bin", help="path to a prebuilt baseline micro_core")
     src.add_argument("--scale", nargs=2, metavar=("BASELINE_JSON", "TEST_JSON"),
                      help="diff two bench_scale JSON reports instead of running micro_core")
+    src.add_argument("--coexist", nargs=2, metavar=("BASELINE_JSON", "TEST_JSON"),
+                     help="diff two bench_coexist JSON reports (FCT + utilization per mode)")
     ap.add_argument("--test-bin", default=os.path.join(REPO, "build", "bench", "micro_core"),
                     help="candidate binary (default: build/bench/micro_core)")
     ap.add_argument("--filter", default=".", help="benchmark name regex")
@@ -148,6 +202,9 @@ def main():
 
     if args.scale:
         compare_scale(args.scale[0], args.scale[1], args.fail_above)
+        return
+    if args.coexist:
+        compare_coexist(args.coexist[0], args.coexist[1], args.fail_above)
         return
 
     worktree = None

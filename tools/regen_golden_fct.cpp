@@ -45,13 +45,14 @@ void emit(const char* suffix, transport::Protocol proto) {
 int main() {
   std::printf(
       "// Golden-seed FCT fixtures: WebSearch, load 0.6, 80 flows, 2x2x4\n"
-      "// leaf-spine, seed 42, one array per transport. All four arrays were\n"
-      "// last regenerated when the duplicate-repair-request fix landed (the\n"
-      "// golden load level takes congestion drops, so de-duplicating repair\n"
-      "// grants legitimately moves FCTs). Regenerate with tools/regen_golden.sh\n"
-      "// only for a change that is *supposed* to alter results, and say so in\n"
-      "// the commit; tools/regen_golden.sh --check gates that the unarmed\n"
-      "// fault machinery never moves a byte here.\n"
+      "// leaf-spine, seed 42, one array per transport. The first four arrays\n"
+      "// were last regenerated when the duplicate-repair-request fix landed\n"
+      "// (the golden load level takes congestion drops, so de-duplicating\n"
+      "// repair grants legitimately moves FCTs); the DCTCP array was pinned\n"
+      "// when the sender-driven wing landed. Regenerate with\n"
+      "// tools/regen_golden.sh only for a change that is *supposed* to alter\n"
+      "// results, and say so in the commit; tools/regen_golden.sh --check\n"
+      "// gates that the unarmed fault machinery never moves a byte here.\n"
       "// Fields: flow id, bytes, start ns, end ns.\n");
   emit("Amrt", transport::Protocol::kAmrt);
   std::printf("\n");
@@ -60,5 +61,7 @@ int main() {
   emit("Homa", transport::Protocol::kHoma);
   std::printf("\n");
   emit("Ndp", transport::Protocol::kNdp);
+  std::printf("\n");
+  emit("Dctcp", transport::Protocol::kDctcp);
   return 0;
 }

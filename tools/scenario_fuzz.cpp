@@ -27,16 +27,19 @@ using harness::fuzz::Topo;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--seeds N] [--topo leafspine|dumbbell|chain|fattree|all]\n"
-               "          [--transport amrt|phost|homa|ndp|all] [--threads N] [--shards N]\n"
-               "          [--faults] [--keep-going] [--quiet]\n"
+               "          [--transport amrt|phost|homa|ndp|dctcp|all] [--threads N] [--shards N]\n"
+               "          [--faults] [--mixed] [--keep-going] [--quiet]\n"
                "\n"
                "  --seed N       first seed (default 1); with --seeds 1, runs exactly one case\n"
                "  --seeds N      seeds per (topology, transport) pair (default 25)\n"
                "  --shards N     run every case partitioned across N worker threads (fat-tree\n"
                "                 and leaf-spine only; other topologies are skipped). Mutually\n"
-               "                 exclusive with --faults\n"
+               "                 exclusive with --faults and --mixed\n"
                "  --faults       inject a seeded fault schedule (link flaps, blackhole\n"
                "                 windows, rate dips) into every case; oracles must still hold\n"
+               "  --mixed        mixed transports: AMRT foreground + a drawn fraction of DCTCP\n"
+               "                 background flows on a shared strict-priority fabric. Restricts\n"
+               "                 the transport axis to AMRT; serial-only\n"
                "  --keep-going   record audit violations instead of aborting on the first\n"
                "  --quiet        only print failures and the final summary\n",
                argv0);
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
   FuzzOptions opts;
   bool quiet = false;
   bool keep_going = false;
+  bool transport_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,7 +80,10 @@ int main(int argc, char** argv) {
         if (v != "all") opts.topos = {harness::fuzz::topo_from_string(v)};
       } else if (arg == "--transport") {
         const std::string v = value();
-        if (v != "all") opts.protocols = {transport::protocol_from_string(v)};
+        if (v != "all") {
+          opts.protocols = {transport::protocol_from_string(v)};
+          transport_set = true;
+        }
       } else if (arg == "--threads") {
         std::uint64_t n = 0;
         if (!parse_u64(value(), n)) throw std::invalid_argument("bad --threads");
@@ -87,6 +94,8 @@ int main(int argc, char** argv) {
         opts.shards = static_cast<unsigned>(n);
       } else if (arg == "--faults") {
         opts.faults = true;
+      } else if (arg == "--mixed") {
+        opts.mixed = true;
       } else if (arg == "--keep-going") {
         keep_going = true;
       } else if (arg == "--quiet") {
@@ -108,6 +117,20 @@ int main(int argc, char** argv) {
   if (opts.faults && opts.shards > 1) {
     std::fprintf(stderr, "%s: --faults and --shards are mutually exclusive\n", argv[0]);
     return 2;
+  }
+  if (opts.mixed && opts.shards > 1) {
+    std::fprintf(stderr, "%s: --mixed and --shards are mutually exclusive\n", argv[0]);
+    return 2;
+  }
+  if (opts.mixed) {
+    // The foreground transport is fixed. With the default axis run_fuzz just
+    // narrows it; an explicit `--transport ndp --mixed` fails loudly instead
+    // of silently running zero cases.
+    if (transport_set && opts.protocols.front() != transport::Protocol::kAmrt) {
+      std::fprintf(stderr, "%s: --mixed requires --transport amrt\n", argv[0]);
+      return 2;
+    }
+    opts.protocols = {transport::Protocol::kAmrt};
   }
 
   // Fail-fast aborts (printing the replay line) are the right default for a
