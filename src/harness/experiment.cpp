@@ -14,14 +14,22 @@
 #include "net/topology.hpp"
 #include "sim/shard.hpp"
 #include "stats/summary.hpp"
+#include "workload/flow_trace.hpp"
+#include "workload/traffic.hpp"
 
 namespace amrt::harness {
 
 void write_fct_csv(std::ostream& os, const std::vector<stats::FlowRecord>& records) {
-  os << "flow,bytes,start_us,end_us,fct_us\n";
+  os << "flow,bytes,start_us,end_us,fct_us,group_id,request_id\n";
   for (const auto& r : records) {
     os << r.flow << ',' << r.bytes << ',' << r.start.to_micros() << ',' << r.end.to_micros()
-       << ',' << r.fct().to_micros() << '\n';
+       << ',' << r.fct().to_micros() << ',';
+    // Ungrouped flows get empty cells, not zeros: consumers that treat the
+    // column as an id shouldn't see a phantom group 0.
+    if (r.group != 0) os << r.group;
+    os << ',';
+    if (r.request != 0) os << r.request;
+    os << '\n';
   }
 }
 
@@ -80,6 +88,33 @@ PortUtilization active_window_utilization(const net::PortSampler& sampler) {
   return PortUtilization{sum / static_cast<double>(last - first + 1),
                          static_cast<double>(samples[last].bytes_sent)};
 }
+// Generation, shared by the serial and sharded paths: run the configured
+// traffic engine against the run's seeded stream, optionally dump the
+// schedule as a replayable trace, and register group/request membership.
+std::vector<workload::GeneratedFlow> generate_flows(const ExperimentConfig& cfg,
+                                                    std::size_t n_hosts, sim::Rng& rng,
+                                                    stats::GroupBook& book) {
+  workload::TrafficConfig traffic;
+  traffic.load = cfg.load;
+  traffic.n_flows = cfg.n_flows;
+  traffic.n_hosts = n_hosts;
+  traffic.host_rate = cfg.link_rate;
+  const workload::EmpiricalCdf* sizes =
+      cfg.engine.engine == workload::Engine::kTrace ? nullptr : &workload::cdf(cfg.workload);
+  auto flows = workload::generate_traffic(cfg.engine, sizes, traffic, rng);
+  if (!cfg.trace_out.empty()) workload::write_trace_file(cfg.trace_out, flows);
+  for (const auto& f : flows) book.note(f.id, f.group_id, f.request_id);
+  return flows;
+}
+
+// Annotates records with membership and fills the collective summaries.
+void finish_group_stats(const stats::GroupBook& book, ExperimentResult& out) {
+  if (book.empty()) return;
+  book.annotate(out.flow_records);
+  out.group_stats = book.group_stats(out.flow_records);
+  out.request_stats = book.request_stats(out.flow_records);
+}
+
 // Partitioned variant: same topology, workload draws and flow schedule as
 // the serial path (everything builds against the master shard, which carries
 // cfg.seed unchanged), executed across cfg.shards worker threads. No
@@ -135,13 +170,8 @@ ExperimentResult run_leaf_spine_sharded(const ExperimentConfig& cfg) {
     host->attach(std::move(ep));
   }
 
-  workload::FlowGenerator gen{workload::cdf(cfg.workload), group.master().rng()};
-  workload::TrafficConfig traffic;
-  traffic.load = cfg.load;
-  traffic.n_flows = cfg.n_flows;
-  traffic.n_hosts = topo.hosts.size();
-  traffic.host_rate = cfg.link_rate;
-  const auto flows = gen.generate(traffic);
+  stats::GroupBook book;
+  const auto flows = generate_flows(cfg, topo.hosts.size(), group.master().rng(), book);
   if (flows.empty()) return {};
 
   for (const auto& f : flows) {
@@ -164,6 +194,7 @@ ExperimentResult run_leaf_spine_sharded(const ExperimentConfig& cfg) {
   out.flows_started = recorder.started_count();
   out.flows_completed = recorder.completed().size();
   out.flow_records = recorder.completed();
+  finish_group_stats(book, out);
   out.bytes_delivered = recorder.bytes_delivered();
   out.events = group.events_processed();
   out.sim_seconds = group.now_max().to_seconds();
@@ -265,13 +296,8 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   }
 
   // Workload, drawn from the simulation's own random stream.
-  workload::FlowGenerator gen{workload::cdf(cfg.workload), simu.rng()};
-  workload::TrafficConfig traffic;
-  traffic.load = cfg.load;
-  traffic.n_flows = cfg.n_flows;
-  traffic.n_hosts = topo.hosts.size();
-  traffic.host_rate = cfg.link_rate;
-  const auto flows = gen.generate(traffic);
+  stats::GroupBook book;
+  const auto flows = generate_flows(cfg, topo.hosts.size(), simu.rng(), book);
   if (flows.empty()) return {};
 
   for (const auto& f : flows) {
@@ -323,6 +349,7 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
   out.flows_started = recorder.started_count();
   out.flows_completed = recorder.completed().size();
   out.flow_records = recorder.completed();
+  finish_group_stats(book, out);
   out.bytes_delivered = recorder.bytes_delivered();
   out.events = sched.events_processed();
   out.sim_seconds = sched.now().to_seconds();

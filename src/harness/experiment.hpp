@@ -5,12 +5,15 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/factory.hpp"
 #include "net/routing.hpp"
 #include "stats/fct.hpp"
+#include "stats/group.hpp"
 #include "workload/generator.hpp"
+#include "workload/traffic.hpp"
 #include "workload/workloads.hpp"
 
 namespace amrt::harness {
@@ -20,6 +23,21 @@ struct ExperimentConfig {
   workload::Kind workload = workload::Kind::kWebSearch;
   double load = 0.5;          // Fig. 12 x-axis
   std::size_t n_flows = 400;  // Fig. 13 x-axis
+
+  // Traffic engine (DESIGN.md §14). The default — the legacy engine — is
+  // byte-identical to the original FlowGenerator: same draws, same schedule,
+  // same golden fixtures. kSkewed/kFanout open up the pair/arrival/structure
+  // axes; kTrace replays engine.trace_path and ignores workload/load/n_flows
+  // (the trace carries its own sizes and schedule). Every engine composes
+  // with `shards` — generation happens on the master shard before the clock
+  // starts. For kTrace the trace is read once per run, on every shard count.
+  workload::WorkloadSpec engine{};
+
+  // Non-empty: dump the generated schedule (whatever engine produced it) as
+  // a flow-trace file right after generation. Replaying that file with the
+  // trace engine under the same fabric config reproduces the run's FCT
+  // records bit for bit.
+  std::string trace_out;
 
   // Topology. Paper scale is 10/8/40 with 100us links; the default is a
   // scaled-down fabric so the full sweep runs on a laptop (see DESIGN.md).
@@ -90,12 +108,18 @@ struct ExperimentResult {
   double wall_seconds = 0;
   std::size_t flows_started = 0;
   std::size_t flows_completed = 0;
-  // Per-flow completion records (size, start, end), for CSV export and
-  // custom post-processing.
+  // Per-flow completion records (size, start, end, group/request membership),
+  // for CSV export and custom post-processing.
   std::vector<stats::FlowRecord> flow_records;
+  // Collective completion times (stats/group.hpp): coflow groups and fan-out
+  // requests. All-zero when the workload emitted no grouped flows.
+  stats::GroupStats group_stats;
+  stats::GroupStats request_stats;
 };
 
-// Dumps `flow_records` as CSV: flow,bytes,start_us,end_us,fct_us.
+// Dumps `flow_records` as CSV: flow,bytes,start_us,end_us,fct_us,group_id,
+// request_id — the last two empty for ungrouped flows, so pre-engine
+// consumers that split on ',' still find their columns where they were.
 void write_fct_csv(std::ostream& os, const std::vector<stats::FlowRecord>& records);
 
 // The mixed-transport dispatch rule, shared by the harness, the fuzzer and

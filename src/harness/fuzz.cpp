@@ -16,7 +16,9 @@
 #include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 #include "stats/fct.hpp"
+#include "stats/group.hpp"
 #include "workload/generator.hpp"
+#include "workload/traffic.hpp"
 #include "workload/workloads.hpp"
 
 namespace amrt::harness::fuzz {
@@ -37,7 +39,7 @@ std::uint64_t mix(std::uint64_t seed, std::uint64_t salt) {
 
 std::uint64_t case_salt(const CaseConfig& c) {
   return (static_cast<std::uint64_t>(c.topo) << 8) | static_cast<std::uint64_t>(c.proto) |
-         (c.mixed ? (1ULL << 16) : 0ULL);
+         (c.mixed ? (1ULL << 16) : 0ULL) | (c.engine ? (1ULL << 17) : 0ULL);
 }
 
 struct Fnv {
@@ -66,6 +68,9 @@ struct CaseParams {
   std::size_t n_flows = 16;
   // Mixed cases only: fraction of flows (by id residue) that run DCTCP.
   double background_fraction = 0.0;
+  // Engine cases only: drawn traffic-engine spec; the default is the legacy
+  // engine, which generates draw-for-draw like the old FlowGenerator.
+  workload::WorkloadSpec spec{};
 };
 
 CaseParams draw_params(const CaseConfig& c, sim::Rng& rng) {
@@ -98,6 +103,29 @@ CaseParams draw_params(const CaseConfig& c, sim::Rng& rng) {
   // Mixed-only draw, strictly after every single-transport draw: non-mixed
   // cases consume exactly the old stream.
   if (c.mixed) p.background_fraction = rng.uniform(0.2, 0.7);
+  // Engine-only draws, strictly after everything above (including the mixed
+  // draw): non-engine cases consume exactly the old stream.
+  if (c.engine) {
+    if (rng.bernoulli(0.5)) {
+      p.spec.engine = workload::Engine::kSkewed;
+      p.spec.pairs = rng.bernoulli(0.5) ? workload::PairModel::kHotRack
+                                        : workload::PairModel::kPermutation;
+      p.spec.arrivals = rng.bernoulli(0.5) ? workload::ArrivalModel::kPoisson
+                                           : workload::ArrivalModel::kFixedRate;
+      p.spec.skew.hosts_per_rack = static_cast<std::size_t>(rng.uniform_int(2, 4));
+      p.spec.skew.hot_rack_fraction = rng.uniform(0.2, 0.6);
+      p.spec.skew.hot_weight = rng.uniform(0.5, 0.9);
+      p.spec.skew.locality = rng.uniform(0.1, 0.5);
+      if (rng.bernoulli(0.5)) {
+        p.spec.coflow_fraction = rng.uniform(0.1, 0.4);
+        p.spec.coflow_width = static_cast<std::size_t>(rng.uniform_int(2, 4));
+      }
+    } else {
+      p.spec.engine = workload::Engine::kFanout;
+      p.spec.fanout = static_cast<std::size_t>(rng.uniform_int(2, 6));
+      p.spec.response_bytes = rng.bernoulli(0.5) ? rng.uniform_int(2'000, 40'000) : 0;
+    }
+  }
   return p;
 }
 
@@ -363,6 +391,32 @@ void check_oracles(CaseResult& r, const stats::FctRecorder& recorder, net::Netwo
   r.hash = fnv.h;
 }
 
+// Oracle 5 (engine cases): group accounting. If every flow completed, every
+// coflow group and every fan-out request must be complete in the GroupBook —
+// a mismatch means membership bookkeeping lost or double-counted a member.
+void check_group_oracle(CaseResult& r, const std::vector<workload::GeneratedFlow>& flows,
+                        const stats::FctRecorder& recorder) {
+  stats::GroupBook book;
+  for (const auto& f : flows) book.note(f.id, f.group_id, f.request_id);
+  if (book.empty() || r.completed < r.flows) return;
+  const stats::GroupStats gs = book.group_stats(recorder.completed());
+  const stats::GroupStats qs = book.request_stats(recorder.completed());
+  auto fail = [&r](std::string why) {
+    if (r.ok) {
+      r.ok = false;
+      r.failure = std::move(why);
+    }
+  };
+  if (gs.complete != gs.groups) {
+    fail("group accounting: " + std::to_string(gs.complete) + " of " + std::to_string(gs.groups) +
+         " groups complete though every flow finished");
+  }
+  if (qs.complete != qs.groups) {
+    fail("request accounting: " + std::to_string(qs.complete) + " of " + std::to_string(qs.groups) +
+         " requests complete though every flow finished");
+  }
+}
+
 // Partitioned variant of run_case: same parameter stream and flow schedule
 // (everything builds against the master shard, which carries the case seed
 // unchanged), executed on `c.shards` worker threads under the conservative
@@ -427,13 +481,13 @@ CaseResult run_case_sharded(const CaseConfig& c) {
     host->attach(std::move(ep));
   }
 
-  workload::FlowGenerator gen{workload::cdf(params.workload), group.master().rng()};
   workload::TrafficConfig traffic;
   traffic.load = params.load;
   traffic.n_flows = params.n_flows;
   traffic.n_hosts = scen.hosts.size();
   traffic.host_rate = params.link_rate;
-  const auto flows = gen.generate(traffic);
+  const auto flows = workload::generate_traffic(params.spec, &workload::cdf(params.workload),
+                                                traffic, group.master().rng());
 
   for (const auto& f : flows) {
     transport::FlowSpec spec{f.id, scen.hosts[f.src_host]->id(), scen.hosts[f.dst_host]->id(),
@@ -455,6 +509,7 @@ CaseResult run_case_sharded(const CaseConfig& c) {
   r.events = sharded.events();
   r.faulted = network.packets_faulted();
   check_oracles(r, sharded.merged(), network, scen, params, group.master().auditor());
+  check_group_oracle(r, flows, sharded.merged());
   return r;
 }
 
@@ -487,7 +542,7 @@ std::string repro_line(const CaseConfig& c) {
          to_string(c.topo) + " --transport " + transport::to_string(c.proto) +
          (c.faults ? " --faults" : "") +
          (c.shards > 1 ? " --shards " + std::to_string(c.shards) : "") +
-         (c.mixed ? " --mixed" : "");
+         (c.mixed ? " --mixed" : "") + (c.engine ? " --workload-engine" : "");
 }
 
 CaseResult run_case(const CaseConfig& c) {
@@ -539,13 +594,13 @@ CaseResult run_case(const CaseConfig& c) {
     host->attach(std::move(ep));
   }
 
-  workload::FlowGenerator gen{workload::cdf(params.workload), simu.rng()};
   workload::TrafficConfig traffic;
   traffic.load = params.load;
   traffic.n_flows = params.n_flows;
   traffic.n_hosts = scen.hosts.size();
   traffic.host_rate = params.link_rate;
-  const auto flows = gen.generate(traffic);
+  const auto flows =
+      workload::generate_traffic(params.spec, &workload::cdf(params.workload), traffic, simu.rng());
 
   for (const auto& f : flows) {
     transport::FlowSpec spec{f.id, scen.hosts[f.src_host]->id(), scen.hosts[f.dst_host]->id(),
@@ -565,6 +620,7 @@ CaseResult run_case(const CaseConfig& c) {
   r.events = sched.events_processed();
   r.faulted = network.packets_faulted();
   check_oracles(r, recorder, network, scen, params, simu.auditor());
+  check_group_oracle(r, flows, recorder);
   return r;
 }
 
@@ -580,8 +636,8 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
       // Mixed sweeps fix the foreground transport: only the AMRT axis runs.
       if (opts.mixed && proto != Protocol::kAmrt) continue;
       for (std::uint64_t s = 0; s < opts.seeds; ++s) {
-        cases.push_back(
-            CaseConfig{opts.first_seed + s, topo, proto, opts.faults, opts.shards, opts.mixed});
+        cases.push_back(CaseConfig{opts.first_seed + s, topo, proto, opts.faults, opts.shards,
+                                   opts.mixed, opts.engine});
       }
     }
   }

@@ -67,6 +67,14 @@ struct CaseConfig {
   // shards > 1). The oracles are unchanged — completion, physics, queue
   // accounting and the audit ledger hold for both populations.
   bool mixed = false;
+  // Workload-engine cases (DESIGN.md §14): draw a non-legacy traffic engine
+  // (skewed matrices with optional coflow groups, or front-end fan-out
+  // requests) plus its knobs. All engine draws sit strictly after every
+  // pre-existing draw — including the mixed draw — so cases with the flag
+  // off replay bit-identically to builds that predate the engine layer. Adds
+  // a fifth oracle: when every flow completes, every coflow group and every
+  // fan-out request must be accounted complete by the GroupBook.
+  bool engine = false;
 };
 
 struct CaseResult {
@@ -109,6 +117,9 @@ struct FuzzOptions {
   // protocol axis to kAmrt (the foreground transport is fixed; the DCTCP
   // population rides inside the case). Mutually exclusive with shards > 1.
   bool mixed = false;
+  // Workload-engine cases: every case draws a non-legacy traffic engine and
+  // its knobs (see CaseConfig::engine).
+  bool engine = false;
   unsigned threads = 0;  // SweepRunner: 0 = one per hardware core
   // Called after each case (serialized), for progress/reporting.
   std::function<void(const CaseConfig&, const CaseResult&)> on_case;

@@ -101,6 +101,7 @@ void write_results_json(std::ostream& os, const std::vector<ExperimentConfig>& p
     const auto& r = results[i];
     os << "  {\"proto\":\"" << transport::to_string(c.proto) << "\""
        << ",\"workload\":\"" << workload::abbrev(c.workload) << "\""
+       << ",\"engine\":\"" << workload::to_string(c.engine.engine) << "\""
        << ",\"load\":" << c.load
        << ",\"n_flows\":" << c.n_flows
        << ",\"seed\":" << c.seed
@@ -120,6 +121,12 @@ void write_results_json(std::ostream& os, const std::vector<ExperimentConfig>& p
        << ",\"bytes_delivered\":" << r.bytes_delivered
        << ",\"flows_started\":" << r.flows_started
        << ",\"flows_completed\":" << r.flows_completed
+       << ",\"groups\":" << r.group_stats.groups
+       << ",\"groups_complete\":" << r.group_stats.complete
+       << ",\"group_p99_us\":" << r.group_stats.p99_us
+       << ",\"requests\":" << r.request_stats.groups
+       << ",\"requests_complete\":" << r.request_stats.complete
+       << ",\"request_p99_us\":" << r.request_stats.p99_us
        << ",\"events\":" << r.events
        << ",\"sim_seconds\":" << r.sim_seconds
        << ",\"wall_seconds\":" << r.wall_seconds

@@ -21,6 +21,11 @@ struct FlowRecord {
   std::uint64_t bytes = 0;
   sim::TimePoint start{};
   sim::TimePoint end{};
+  // Structure membership (stats/group.hpp). Transports don't know about
+  // groups, so the recorder leaves these 0; GroupBook::annotate fills them
+  // in from the workload schedule after the run.
+  std::uint64_t group = 0;
+  std::uint64_t request = 0;
   [[nodiscard]] sim::Duration fct() const { return end - start; }
 };
 

@@ -1,0 +1,98 @@
+#include "stats/group.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amrt::stats {
+
+namespace {
+
+// Span accumulator for one collective: first member start to last member end.
+struct Span {
+  sim::TimePoint first_start = sim::TimePoint::max();
+  sim::TimePoint last_end = sim::TimePoint::zero();
+  std::size_t members = 0;
+};
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+void GroupBook::note(std::uint64_t flow, std::uint64_t group, std::uint64_t request) {
+  if (group != 0) {
+    flow_group_[flow] = group;
+    ++group_size_[group];
+  }
+  if (request != 0) {
+    flow_request_[flow] = request;
+    ++request_size_[request];
+  }
+}
+
+void GroupBook::annotate(std::vector<FlowRecord>& records) const {
+  if (empty()) return;
+  for (auto& r : records) {
+    if (const auto* g = flow_group_.find(r.flow)) r.group = *g;
+    if (const auto* q = flow_request_.find(r.flow)) r.request = *q;
+  }
+}
+
+GroupStats GroupBook::group_stats(const std::vector<FlowRecord>& completed) const {
+  return stats_over(flow_group_, group_size_, completed);
+}
+
+GroupStats GroupBook::request_stats(const std::vector<FlowRecord>& completed) const {
+  return stats_over(flow_request_, request_size_, completed);
+}
+
+GroupStats GroupBook::stats_over(const util::FlatMap<std::uint64_t, std::uint64_t>& membership,
+                                 const util::FlatMap<std::uint64_t, std::size_t>& expected,
+                                 const std::vector<FlowRecord>& completed) const {
+  GroupStats out;
+  out.groups = expected.size();
+  if (out.groups == 0) return out;
+
+  util::FlatMap<std::uint64_t, Span> spans;
+  spans.reserve(out.groups);
+  for (const auto& r : completed) {
+    const auto* key = membership.find(r.flow);
+    if (key == nullptr) continue;
+    Span& s = spans[*key];
+    s.first_start = std::min(s.first_start, r.start);
+    s.last_end = std::max(s.last_end, r.end);
+    ++s.members;
+  }
+
+  // Collective times over complete groups only: a collective with a member
+  // still in flight has no completion time yet, and counting its partial
+  // span would *understate* the tail. Sort for deterministic percentiles
+  // (FlatMap iteration order depends on insertion history).
+  std::vector<double> cct_us;
+  cct_us.reserve(spans.size());
+  for (const auto& [key, span] : spans) {
+    const auto* want = expected.find(key);
+    if (want != nullptr && span.members == *want) {
+      cct_us.push_back((span.last_end - span.first_start).to_micros());
+    }
+  }
+  out.complete = cct_us.size();
+  if (cct_us.empty()) return out;
+  std::sort(cct_us.begin(), cct_us.end());
+
+  double sum = 0.0;
+  for (const double v : cct_us) sum += v;
+  out.mean_us = sum / static_cast<double>(cct_us.size());
+  out.p50_us = percentile(cct_us, 0.50);
+  out.p99_us = percentile(cct_us, 0.99);
+  out.max_us = cct_us.back();
+  return out;
+}
+
+}  // namespace amrt::stats

@@ -1,0 +1,66 @@
+// Group-aware completion accounting (DESIGN.md §14).
+//
+// The workload layer can emit flows that belong to a collective: an incast
+// coflow (many senders, one receiver) or a front-end fan-out request (one
+// request, N backend responses). The number the operator cares about is not
+// any member flow's FCT but the *collective* completion time — the span from
+// the first member's start to the last member's finish — because the request
+// is only answered when the straggler lands. Tail-at-scale in one metric.
+//
+// GroupBook sits in the stats layer but deliberately knows nothing about the
+// workload types: the harness feeds it raw (flow, group, request) ids from
+// the generated schedule, then hands it the completed FlowRecords. A group
+// only counts as complete when every member the schedule promised has a
+// completion record — a partially-finished incast must not masquerade as a
+// fast one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/fct.hpp"
+#include "util/flat_map.hpp"
+
+namespace amrt::stats {
+
+// Collective completion-time summary over *complete* groups only; times in
+// microseconds. `groups` counts groups promised by the schedule, `complete`
+// those with every member finished.
+struct GroupStats {
+  std::size_t groups = 0;
+  std::size_t complete = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+class GroupBook {
+ public:
+  // Schedule-time registration; group/request 0 means "not a member" on that
+  // axis and is ignored. Call once per generated flow, before the run.
+  void note(std::uint64_t flow, std::uint64_t group, std::uint64_t request);
+
+  [[nodiscard]] bool empty() const { return flow_group_.empty() && flow_request_.empty(); }
+
+  // Stamps group/request onto records whose flow id was noted (CSV/JSON
+  // output wants the membership next to each FCT row).
+  void annotate(std::vector<FlowRecord>& records) const;
+
+  // Collective completion times over the coflow/group axis and the fan-out
+  // request axis, computed from completed records.
+  [[nodiscard]] GroupStats group_stats(const std::vector<FlowRecord>& completed) const;
+  [[nodiscard]] GroupStats request_stats(const std::vector<FlowRecord>& completed) const;
+
+ private:
+  [[nodiscard]] GroupStats stats_over(const util::FlatMap<std::uint64_t, std::uint64_t>& membership,
+                                      const util::FlatMap<std::uint64_t, std::size_t>& expected,
+                                      const std::vector<FlowRecord>& completed) const;
+
+  util::FlatMap<std::uint64_t, std::uint64_t> flow_group_;    // flow -> group
+  util::FlatMap<std::uint64_t, std::uint64_t> flow_request_;  // flow -> request
+  util::FlatMap<std::uint64_t, std::size_t> group_size_;      // group -> member count
+  util::FlatMap<std::uint64_t, std::size_t> request_size_;    // request -> member count
+};
+
+}  // namespace amrt::stats

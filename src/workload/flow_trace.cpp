@@ -1,0 +1,119 @@
+#include "workload/flow_trace.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace amrt::workload {
+
+namespace {
+
+[[noreturn]] void line_error(const std::string& name, std::size_t line, const std::string& what) {
+  throw TraceError(name + ":" + std::to_string(line) + ": " + what);
+}
+
+// Strict unsigned-decimal field parse; rejects empty, sign, junk, overflow.
+bool parse_field(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  out = 0;
+  for (const char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(ch - '0');
+    if (out > (UINT64_MAX - digit) / 10) return false;
+    out = out * 10 + digit;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<GeneratedFlow> read_trace(std::istream& in, const std::string& name) {
+  std::vector<GeneratedFlow> flows;
+  std::string line;
+  std::size_t lineno = 0;
+  std::int64_t last_t = -1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF dumps
+    if (line.empty() || line[0] == '#') continue;
+
+    // Split on commas; reject anything but 5 or 6 fields.
+    std::vector<std::string> fields;
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t comma = line.find(',', pos);
+      fields.push_back(line.substr(pos, comma == std::string::npos ? comma : comma - pos));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (fields.size() != 5 && fields.size() != 6) {
+      line_error(name, lineno,
+                 "expected 5 or 6 fields (t_ns,src,dst,bytes,group_id[,request_id]), got " +
+                     std::to_string(fields.size()));
+    }
+
+    std::uint64_t raw[6] = {0, 0, 0, 0, 0, 0};
+    static constexpr const char* kField[6] = {"t_ns", "src", "dst", "bytes", "group_id",
+                                              "request_id"};
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!parse_field(fields[i], raw[i])) {
+        line_error(name, lineno, std::string{"malformed "} + kField[i] + " field '" + fields[i] +
+                                     "' (want a non-negative integer)");
+      }
+    }
+    if (raw[0] > static_cast<std::uint64_t>(INT64_MAX)) {
+      line_error(name, lineno, "t_ns " + fields[0] + " overflows the signed clock");
+    }
+    const auto t = static_cast<std::int64_t>(raw[0]);
+    if (t < last_t) {
+      line_error(name, lineno,
+                 "non-monotonic timestamp: t_ns " + std::to_string(t) + " after " +
+                     std::to_string(last_t) + " (replay would mis-schedule; sort the trace)");
+    }
+    last_t = t;
+    if (raw[1] == raw[2]) line_error(name, lineno, "src == dst (" + fields[1] + ")");
+    if (raw[3] == 0) line_error(name, lineno, "zero-byte flow");
+
+    GeneratedFlow f;
+    f.id = flows.size() + 1;
+    f.start = sim::TimePoint::zero() + sim::Duration::nanoseconds(t);
+    f.src_host = static_cast<std::size_t>(raw[1]);
+    f.dst_host = static_cast<std::size_t>(raw[2]);
+    f.bytes = raw[3];
+    f.group_id = raw[4];
+    f.request_id = raw[5];
+    flows.push_back(f);
+  }
+  if (in.bad()) throw TraceError(name + ": read error");
+  if (flows.empty()) throw TraceError(name + ": trace has no flows");
+  return flows;
+}
+
+std::vector<GeneratedFlow> read_trace_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw TraceError(path + ": cannot open trace");
+  return read_trace(in, path);
+}
+
+void write_trace(std::ostream& out, const std::vector<GeneratedFlow>& flows) {
+  out << kTraceMagic << '\n';
+  out << "# t_ns,src,dst,bytes,group_id,request_id\n";
+  for (const auto& f : flows) {
+    out << f.start.ns() << ',' << f.src_host << ',' << f.dst_host << ',' << f.bytes << ','
+        << f.group_id << ',' << f.request_id << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const std::vector<GeneratedFlow>& flows) {
+  std::ofstream out{path};
+  if (!out) throw TraceError(path + ": cannot open for writing");
+  write_trace(out, flows);
+  out.flush();
+  if (!out) throw TraceError(path + ": write error");
+}
+
+}  // namespace amrt::workload

@@ -21,6 +21,11 @@ struct GeneratedFlow {
   std::size_t dst_host = 0;
   std::uint64_t bytes = 0;
   sim::TimePoint start{};
+  // Structure layer (traffic.hpp): coflow/incast group and front-end fan-out
+  // request membership. 0 = ungrouped, which is what every flow from the
+  // legacy generator carries.
+  std::uint64_t group_id = 0;
+  std::uint64_t request_id = 0;
 };
 
 struct TrafficConfig {

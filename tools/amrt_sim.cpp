@@ -18,6 +18,7 @@
 
 #include "harness/sweep.hpp"
 #include "net/topology.hpp"
+#include "workload/flow_trace.hpp"
 
 using namespace amrt;
 
@@ -31,6 +32,20 @@ void usage() {
       "                                senders under an AMRT foreground (requires\n"
       "                                --proto=AMRT; serial-only — excludes --shards)\n"
       "  --workload=WSv|CF|HC|WSc|DM   flow-size distribution (default WSc)\n"
+      "  --workload-engine=legacy|skewed|fanout|trace\n"
+      "                                traffic engine (default legacy — byte-identical\n"
+      "                                to older builds; see DESIGN.md §14)\n"
+      "  --pairs=uniform|hotrack|permutation   pair model (skewed engine)\n"
+      "  --arrivals=poisson|fixed      arrival model (default poisson)\n"
+      "  --hosts-per-rack=N --hot-racks=F --hot-weight=F --locality=F\n"
+      "                                hot-rack matrix knobs (skewed engine)\n"
+      "  --coflow=F --coflow-width=N   expand F of arrivals into incast groups\n"
+      "  --fanout=N --response-bytes=B fan-out engine: N responses per request\n"
+      "                                (B=0 draws sizes from the workload CDF)\n"
+      "  --trace=PATH                  replay a flow trace (engine=trace)\n"
+      "  --trace-out=PATH              dump the generated schedule as a trace\n"
+      "                                (single-point runs only)\n"
+      "  --validate-trace=PATH         parse and validate a trace file, then exit\n"
       "  --load=X                      offered load fraction (default 0.5)\n"
       "  --flows=N                     number of flows (default 400)\n"
       "  --leaves=N --spines=N --hosts-per-leaf=N   fabric shape (4/4/8)\n"
@@ -85,6 +100,43 @@ int main(int argc, char** argv) {
         cfg.background_dctcp_fraction = std::stod(v);
       } else if (match(arg, "--workload=", v)) {
         cfg.workload = workload::kind_from_string(v);
+      } else if (match(arg, "--workload-engine=", v)) {
+        cfg.engine.engine = workload::engine_from_string(v);
+      } else if (match(arg, "--pairs=", v)) {
+        cfg.engine.pairs = workload::pair_model_from_string(v);
+      } else if (match(arg, "--arrivals=", v)) {
+        cfg.engine.arrivals = workload::arrival_model_from_string(v);
+      } else if (match(arg, "--hosts-per-rack=", v)) {
+        cfg.engine.skew.hosts_per_rack = std::stoul(v);
+      } else if (match(arg, "--hot-racks=", v)) {
+        cfg.engine.skew.hot_rack_fraction = std::stod(v);
+      } else if (match(arg, "--hot-weight=", v)) {
+        cfg.engine.skew.hot_weight = std::stod(v);
+      } else if (match(arg, "--locality=", v)) {
+        cfg.engine.skew.locality = std::stod(v);
+      } else if (match(arg, "--coflow=", v)) {
+        cfg.engine.coflow_fraction = std::stod(v);
+      } else if (match(arg, "--coflow-width=", v)) {
+        cfg.engine.coflow_width = std::stoul(v);
+      } else if (match(arg, "--fanout=", v)) {
+        cfg.engine.fanout = std::stoul(v);
+      } else if (match(arg, "--response-bytes=", v)) {
+        cfg.engine.response_bytes = std::stoull(v);
+      } else if (match(arg, "--trace=", v)) {
+        cfg.engine.engine = workload::Engine::kTrace;
+        cfg.engine.trace_path = v;
+      } else if (match(arg, "--trace-out=", v)) {
+        cfg.trace_out = v;
+      } else if (match(arg, "--validate-trace=", v)) {
+        try {
+          const auto flows = workload::read_trace_file(v);
+          std::printf("%s: ok, %zu flows, last start %s\n", v.c_str(), flows.size(),
+                      flows.back().start.str().c_str());
+          return 0;
+        } catch (const workload::TraceError& e) {
+          std::fprintf(stderr, "%s\n", e.what());
+          return 1;
+        }
       } else if (match(arg, "--load=", v)) {
         cfg.load = std::stod(v);
       } else if (match(arg, "--flows=", v)) {
@@ -143,6 +195,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "amrt_sim: --faults and --shards are mutually exclusive\n");
     return 2;
   }
+  if (cfg.engine.engine == workload::Engine::kTrace && cfg.engine.trace_path.empty()) {
+    std::fprintf(stderr, "amrt_sim: --workload-engine=trace needs --trace=PATH\n");
+    return 2;
+  }
+  if (!cfg.trace_out.empty() && n_seeds > 1) {
+    std::fprintf(stderr, "amrt_sim: --trace-out only supports a single point (drop --seeds)\n");
+    return 2;
+  }
   if (cfg.background_dctcp_fraction > 0.0) {
     if (cfg.proto != transport::Protocol::kAmrt) {
       std::fprintf(stderr, "amrt_sim: --mixed requires --proto=AMRT\n");
@@ -190,20 +250,24 @@ int main(int argc, char** argv) {
   }
 
   if (csv) {
-    std::printf("proto,workload,load,flows,seed,afct_us,p99_us,small_afct_us,large_afct_us,"
-                "slowdown,utilization,max_queue,drops,trims,faulted,completed,events,wall_s\n");
+    std::printf("proto,workload,engine,load,flows,seed,afct_us,p99_us,small_afct_us,large_afct_us,"
+                "slowdown,utilization,max_queue,drops,trims,faulted,completed,events,wall_s,"
+                "groups,group_p99_us,requests,request_p99_us\n");
     for (std::size_t i = 0; i < points.size(); ++i) {
       const auto& p = points[i];
       const auto& r = results[i];
       std::printf(
-          "%s,%s,%.2f,%zu,%llu,%.1f,%.1f,%.1f,%.1f,%.2f,%.4f,%zu,%llu,%llu,%llu,%zu,%llu,%.2f\n",
-          transport::to_string(p.proto), workload::abbrev(p.workload), p.load,
-          p.n_flows, static_cast<unsigned long long>(p.seed), r.fct_all.afct_us,
+          "%s,%s,%s,%.2f,%zu,%llu,%.1f,%.1f,%.1f,%.1f,%.2f,%.4f,%zu,%llu,%llu,%llu,%zu,%llu,%.2f,"
+          "%zu,%.1f,%zu,%.1f\n",
+          transport::to_string(p.proto), workload::abbrev(p.workload),
+          workload::to_string(p.engine.engine), p.load, p.n_flows,
+          static_cast<unsigned long long>(p.seed), r.fct_all.afct_us,
           r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
           r.fct_all.mean_slowdown, r.mean_utilization, r.max_queue_pkts,
           static_cast<unsigned long long>(r.drops), static_cast<unsigned long long>(r.trims),
           static_cast<unsigned long long>(r.faulted), r.flows_completed,
-          static_cast<unsigned long long>(r.events), r.wall_seconds);
+          static_cast<unsigned long long>(r.events), r.wall_seconds, r.group_stats.groups,
+          r.group_stats.p99_us, r.request_stats.groups, r.request_stats.p99_us);
     }
     return 0;
   }
@@ -222,6 +286,16 @@ int main(int argc, char** argv) {
     std::printf("  FCT:          avg %.1fus, p99 %.1fus, small %.1fus, large %.1fus, slowdown %.2f\n",
                 r.fct_all.afct_us, r.fct_all.p99_us, r.fct_small.afct_us, r.fct_large.afct_us,
                 r.fct_all.mean_slowdown);
+    if (r.group_stats.groups > 0) {
+      std::printf("  groups:       %zu/%zu complete, cct p99 %.1fus, max %.1fus\n",
+                  r.group_stats.complete, r.group_stats.groups, r.group_stats.p99_us,
+                  r.group_stats.max_us);
+    }
+    if (r.request_stats.groups > 0) {
+      std::printf("  requests:     %zu/%zu complete, p99 %.1fus, max %.1fus\n",
+                  r.request_stats.complete, r.request_stats.groups, r.request_stats.p99_us,
+                  r.request_stats.max_us);
+    }
     if (p.background_dctcp_fraction > 0.0) {
       std::printf("  foreground:   AMRT avg %.1fus, p99 %.1fus (%zu flows)\n",
                   r.fct_foreground.afct_us, r.fct_foreground.p99_us, r.fct_foreground.completed);

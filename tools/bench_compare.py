@@ -38,6 +38,16 @@ p99 FCT, mean downlink utilization and the foreground/background FCT split.
 --fail-above here gates the worst p99-FCT ratio, not wall time: the coexist
 benchmark exists to catch behavioural regressions (foreground tail blowing
 up when background DCTCP flows join), not machine noise.
+
+A fourth mode diffs two bench_fanout JSON reports (the front-end fan-out
+macro benchmark, DESIGN.md section 14):
+
+    python3 tools/bench_compare.py --fanout bench/baselines/fanout_leafspine.json new.json
+
+which prints per-mode (amrt / dctcp / mixed) deltas of per-request
+completion time (mean/p99/max) next to the member-flow FCT. --fail-above
+gates the worst request-p99 ratio -- the request tail is the number the
+fan-out scenario exists to protect.
 """
 
 import argparse
@@ -179,6 +189,46 @@ def compare_coexist(baseline_path, test_path, fail_above):
         sys.exit(f"FAIL: worst p99 ratio {worst:.3f} exceeds --fail-above {fail_above}")
 
 
+def compare_fanout(baseline_path, test_path, fail_above):
+    base = load_scale_report(baseline_path)
+    test = load_scale_report(test_path)
+    names = sorted(set(base) & set(test))
+    if not names:
+        sys.exit("error: the two reports share no benchmark names")
+    gone = sorted(set(base) - set(test))
+    if gone:
+        print(f"(modes present only in the baseline: {', '.join(gone)})")
+
+    wname = max(len(n) for n in names)
+    header = (f"{'mode':<{wname}}  {'req p99 old':>11}  {'req p99 new':>11}  {'ratio':>6}  "
+              f"{'req mean new':>12}  {'req max new':>11}  {'flow p99 new':>12}")
+    print(header)
+    print("-" * len(header))
+    worst = 0.0
+    for name in names:
+        b, t = base[name], test[name]
+        old_p99 = b.get("request_p99_us", 0)
+        new_p99 = t.get("request_p99_us", 0)
+        ratio = new_p99 / old_p99 if old_p99 else float("inf")
+        worst = max(worst, ratio)
+        print(f"{name:<{wname}}  {old_p99:>9.1f}us  {new_p99:>9.1f}us  {ratio:>6.3f}  "
+              f"{t.get('request_mean_us', 0):>10.1f}us  {t.get('request_max_us', 0):>9.1f}us  "
+              f"{t.get('p99_us', 0):>10.1f}us")
+        if (b.get("requests_complete", 0) != b.get("requests", 0)
+                or t.get("requests_complete", 0) != t.get("requests", 0)):
+            print(f"{'  (incomplete)':<{wname}}  "
+                  f"{b.get('requests_complete', 0)}/{b.get('requests', 0)} old, "
+                  f"{t.get('requests_complete', 0)}/{t.get('requests', 0)} new")
+    print("\n(per-request completion time: first member start -> last member finish;"
+          "\n ratio is request p99 new/old, < 1 means the candidate improved)")
+    for name in sorted(set(test) - set(base)):
+        t = test[name]
+        print(f"new: {name}  req p99 {t.get('request_p99_us', 0):.1f}us  "
+              f"flow p99 {t.get('p99_us', 0):.1f}us")
+    if fail_above is not None and worst > fail_above:
+        sys.exit(f"FAIL: worst request-p99 ratio {worst:.3f} exceeds --fail-above {fail_above}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     src = ap.add_mutually_exclusive_group(required=True)
@@ -188,6 +238,8 @@ def main():
                      help="diff two bench_scale JSON reports instead of running micro_core")
     src.add_argument("--coexist", nargs=2, metavar=("BASELINE_JSON", "TEST_JSON"),
                      help="diff two bench_coexist JSON reports (FCT + utilization per mode)")
+    src.add_argument("--fanout", nargs=2, metavar=("BASELINE_JSON", "TEST_JSON"),
+                     help="diff two bench_fanout JSON reports (per-request completion per mode)")
     ap.add_argument("--test-bin", default=os.path.join(REPO, "build", "bench", "micro_core"),
                     help="candidate binary (default: build/bench/micro_core)")
     ap.add_argument("--filter", default=".", help="benchmark name regex")
@@ -205,6 +257,9 @@ def main():
         return
     if args.coexist:
         compare_coexist(args.coexist[0], args.coexist[1], args.fail_above)
+        return
+    if args.fanout:
+        compare_fanout(args.fanout[0], args.fanout[1], args.fail_above)
         return
 
     worktree = None

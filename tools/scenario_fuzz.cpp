@@ -28,7 +28,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--seeds N] [--topo leafspine|dumbbell|chain|fattree|all]\n"
                "          [--transport amrt|phost|homa|ndp|dctcp|all] [--threads N] [--shards N]\n"
-               "          [--faults] [--mixed] [--keep-going] [--quiet]\n"
+               "          [--faults] [--mixed] [--workload-engine] [--keep-going] [--quiet]\n"
                "\n"
                "  --seed N       first seed (default 1); with --seeds 1, runs exactly one case\n"
                "  --seeds N      seeds per (topology, transport) pair (default 25)\n"
@@ -40,6 +40,10 @@ void usage(const char* argv0) {
                "  --mixed        mixed transports: AMRT foreground + a drawn fraction of DCTCP\n"
                "                 background flows on a shared strict-priority fabric. Restricts\n"
                "                 the transport axis to AMRT; serial-only\n"
+               "  --workload-engine\n"
+               "                 draw a non-legacy traffic engine per case (skewed matrices\n"
+               "                 with coflow groups, or fan-out requests); adds the group-\n"
+               "                 accounting oracle on top of the standard four\n"
                "  --keep-going   record audit violations instead of aborting on the first\n"
                "  --quiet        only print failures and the final summary\n",
                argv0);
@@ -96,6 +100,8 @@ int main(int argc, char** argv) {
         opts.faults = true;
       } else if (arg == "--mixed") {
         opts.mixed = true;
+      } else if (arg == "--workload-engine") {
+        opts.engine = true;
       } else if (arg == "--keep-going") {
         keep_going = true;
       } else if (arg == "--quiet") {
