@@ -7,14 +7,17 @@
 //
 //   bench_scale [--k N] [--transport amrt|phost|homa|ndp|all]
 //               [--flows N] [--load F] [--shards N] [--repeat R]
-//               [--json PATH] [--check]
+//               [--fidelity packet|flow|both] [--json PATH] [--check]
 //
 // --shards N runs each transport on the partitioned (pod-sharded) executor
 // with N worker threads (see net/partition.hpp); --repeat R reports the
-// median-of-R wall time. --check shrinks the fabric (k=4, a few hundred
-// flows) and exits non-zero unless every flow completes under every
-// requested transport — the scale_smoke / shard_smoke ctests run exactly
-// that in a few seconds.
+// median-of-R wall time. --fidelity flow runs the flow-level fast path
+// (src/flowsim) on the same seeded workload; both emits a packet row and a
+// "/flow"-suffixed row per transport, which is how the committed
+// baselines/scale_k16_flow.json headroom figure is produced. --check
+// shrinks the fabric (k=4, a few hundred flows) and exits non-zero unless
+// every flow completes under every requested transport — the scale_smoke /
+// shard_smoke ctests run exactly that in a few seconds.
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "core/factory.hpp"
+#include "harness/fidelity.hpp"
 #include "harness/sharded.hpp"
 #include "net/partition.hpp"
 #include "net/topology.hpp"
@@ -52,6 +56,8 @@ struct Options {
   int repeat = 1;       // median-of-R wall time
   std::string json_path;  // empty: stdout only when --json given
   bool check = false;
+  bool run_packet = true;  // --fidelity packet|flow|both
+  bool run_flow = false;
 };
 
 struct RunResult {
@@ -126,6 +132,27 @@ RunResult run_one(const Options& opt, transport::Protocol proto) {
   return r;
 }
 
+// The flow-level fast path (src/flowsim) on the same seeded workload; the
+// "/flow" row name keeps packet and fluid rows side by side in one JSON so
+// tools/bench_compare.py --scale can diff either against a baseline.
+RunResult run_one_flow(const Options& opt, transport::Protocol proto) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const harness::FlowFatTreeResult f =
+      harness::run_fat_tree_flow(opt.k, proto, opt.flows, opt.load, opt.seed);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.name = std::string{"BM_Scale/fattree_k"} + std::to_string(opt.k) + "/" +
+           transport::to_string(proto) + "/flow";
+  r.real_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.events = f.events;
+  r.delivered_pkts = f.delivered_bytes / net::kMssBytes;
+  r.flows = f.flows;
+  r.completed = f.completed;
+  r.peak_rss_kb = peak_rss_kb();
+  return r;
+}
+
 // The partitioned executor: same topology, same (master-seeded) workload,
 // pod-sharded across `opt.shards` worker threads.
 RunResult run_one_sharded(const Options& opt, transport::Protocol proto) {
@@ -191,12 +218,14 @@ RunResult run_one_sharded(const Options& opt, transport::Protocol proto) {
 
 // Median-of-R by wall time (the simulation itself is deterministic per
 // mode, so only timing varies across repeats).
-RunResult run_repeated(const Options& opt, transport::Protocol proto) {
+RunResult run_repeated(const Options& opt, transport::Protocol proto, bool flow_fidelity) {
   std::vector<RunResult> runs;
   const int reps = opt.repeat < 1 ? 1 : opt.repeat;
   runs.reserve(static_cast<std::size_t>(reps));
   for (int i = 0; i < reps; ++i) {
-    runs.push_back(opt.shards > 1 ? run_one_sharded(opt, proto) : run_one(opt, proto));
+    runs.push_back(flow_fidelity        ? run_one_flow(opt, proto)
+                   : opt.shards > 1 ? run_one_sharded(opt, proto)
+                                    : run_one(opt, proto));
   }
   std::sort(runs.begin(), runs.end(),
             [](const RunResult& a, const RunResult& b) { return a.real_ms < b.real_ms; });
@@ -236,7 +265,7 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--k N] [--transport amrt|phost|homa|ndp|all] [--flows N]\n"
                "          [--load F] [--seed N] [--shards N] [--repeat R]\n"
-               "          [--json PATH] [--check]\n",
+               "          [--fidelity packet|flow|both] [--json PATH] [--check]\n",
                argv0);
 }
 
@@ -277,6 +306,21 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_scale: --repeat must be >= 1\n");
         return 2;
       }
+    } else if (arg == "--fidelity") {
+      const std::string v = next();
+      if (v == "packet") {
+        opt.run_packet = true;
+        opt.run_flow = false;
+      } else if (v == "flow") {
+        opt.run_packet = false;
+        opt.run_flow = true;
+      } else if (v == "both") {
+        opt.run_packet = true;
+        opt.run_flow = true;
+      } else {
+        std::fprintf(stderr, "bench_scale: --fidelity must be packet, flow or both\n");
+        return 2;
+      }
     } else if (arg == "--json") {
       opt.json_path = next();
     } else if (arg == "--check") {
@@ -293,8 +337,7 @@ int main(int argc, char** argv) {
 
   std::vector<RunResult> results;
   bool ok = true;
-  for (const auto proto : opt.protocols) {
-    const RunResult r = run_repeated(opt, proto);
+  auto report = [&](const RunResult& r) {
     std::fprintf(stderr,
                  "%-28s %9.1f ms  %12llu events (%.2fM ev/s, %u shard%s)  %9llu pkts  "
                  "%zu/%zu flows  rss %.1f MB\n",
@@ -309,6 +352,10 @@ int main(int argc, char** argv) {
       ok = false;
     }
     results.push_back(r);
+  };
+  for (const auto proto : opt.protocols) {
+    if (opt.run_packet) report(run_repeated(opt, proto, false));
+    if (opt.run_flow) report(run_repeated(opt, proto, true));
   }
 
   if (!opt.json_path.empty()) {

@@ -1,0 +1,317 @@
+#include "flowsim/flowsim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace amrt::flowsim {
+
+namespace {
+constexpr double kDoneEps = 1e-3;  // bytes: below this a flow is drained
+}
+
+const char* to_string(RateModel m) {
+  switch (m) {
+    case RateModel::kInstant: return "instant";
+    case RateModel::kAmrtGrantClock: return "amrt";
+    case RateModel::kDctcpThreshold: return "dctcp";
+    case RateModel::kTraditional: return "traditional";
+  }
+  return "?";
+}
+
+FlowSim::FlowSim(const Fabric& fabric, FlowSimConfig cfg) : fabric_{fabric}, cfg_{std::move(cfg)} {
+  if (cfg_.rtt <= sim::Duration::zero()) {
+    throw std::invalid_argument("FlowSim: rtt must be positive");
+  }
+  if (cfg_.payload_fraction <= 0.0 || cfg_.payload_fraction > 1.0) {
+    throw std::invalid_argument("FlowSim: payload_fraction must be in (0, 1]");
+  }
+  const std::size_t n = fabric.link_count();
+  cap_rem_.assign(n, 0.0);
+  link_cnt_.assign(n, 0);
+  link_bytes_.assign(n, 0.0);
+  link_first_.assign(n, sim::TimePoint::max());
+  link_last_.assign(n, sim::TimePoint::zero());
+}
+
+void FlowSim::add_flow(std::uint64_t id, std::size_t src, std::size_t dst, std::uint64_t bytes,
+                       sim::TimePoint start, RateModel model) {
+  if (bytes == 0) throw std::invalid_argument("FlowSim: zero-byte flow");
+  Input in;
+  in.id = id;
+  in.bytes = bytes;
+  in.start = start;
+  in.model = model;
+  in.path_off = static_cast<std::uint32_t>(path_arena_.size());
+  fabric_.path(id, src, dst, path_arena_);
+  in.path_len = static_cast<std::uint32_t>(path_arena_.size()) - in.path_off;
+  inputs_.push_back(in);
+}
+
+void FlowSim::record_link_usage(sim::Duration bin) {
+  if (bin <= sim::Duration::zero()) {
+    throw std::invalid_argument("FlowSim: usage bin must be positive");
+  }
+  usage_bin_ = bin;
+  usage_.assign(fabric_.link_count(), {});
+}
+
+sim::Duration FlowSim::completion_latency(const Active& f) const {
+  return cfg_.prop_delay * static_cast<std::int64_t>(f.path_len) +
+         cfg_.mtu_tx * static_cast<std::int64_t>(f.path_len > 0 ? f.path_len - 1 : 0) +
+         cfg_.fixed_latency;
+}
+
+void FlowSim::recompute_targets() {
+  ++recomputes_;
+  const double rtt_s = cfg_.rtt.to_seconds();
+  const double slot_step = cfg_.mtu_bytes / rtt_s;  // one packet slot per RTT, bytes/sec
+
+  // Per-link active-flow counts and payload capacities, over used links only.
+  used_links_.clear();
+  for (const Active& f : active_) {
+    for (std::uint32_t i = 0; i < f.path_len; ++i) {
+      const LinkId l = path_arena_[f.path_off + i];
+      if (link_cnt_[l] == 0) {
+        used_links_.push_back(l);
+        cap_rem_[l] = fabric_.capacity_bps(l) / 8.0 * cfg_.payload_fraction;
+      }
+      ++link_cnt_[l];
+    }
+  }
+
+  // Water-filling: repeatedly freeze every flow crossing the current
+  // bottleneck (the link with the smallest per-flow share) at that share.
+  std::vector<char> frozen(active_.size(), 0);
+  std::size_t left = active_.size();
+  while (left > 0) {
+    double best = -1.0;
+    LinkId best_link = 0;
+    for (const LinkId l : used_links_) {
+      if (link_cnt_[l] == 0) continue;
+      const double share = cap_rem_[l] / static_cast<double>(link_cnt_[l]);
+      if (best < 0.0 || share < best) {
+        best = share;
+        best_link = l;
+      }
+    }
+    if (best < 0.0) break;  // no constrained link left (cannot happen: host links)
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (frozen[i] != 0) continue;
+      Active& f = active_[i];
+      bool on_bottleneck = false;
+      for (std::uint32_t p = 0; p < f.path_len; ++p) {
+        if (path_arena_[f.path_off + p] == best_link) {
+          on_bottleneck = true;
+          break;
+        }
+      }
+      if (!on_bottleneck) continue;
+      frozen[i] = 1;
+      --left;
+      f.target = best;
+      for (std::uint32_t p = 0; p < f.path_len; ++p) {
+        const LinkId l = path_arena_[f.path_off + p];
+        cap_rem_[l] = std::max(0.0, cap_rem_[l] - best);
+        --link_cnt_[l];
+      }
+    }
+  }
+  for (const LinkId l : used_links_) link_cnt_[l] = 0;  // restore the zeroed invariant
+
+  // Model transitions: how each flow's actual rate tracks its new share.
+  for (Active& f : active_) {
+    if (f.fresh) {
+      // Arrival: the unscheduled burst plus an immediately-scheduled grant
+      // clock put a new flow at its share within the first RTT.
+      f.rate = f.target;
+      f.ramp_step = 0.0;
+      f.fresh = false;
+      continue;
+    }
+    switch (f.model) {
+      case RateModel::kInstant:
+        f.rate = f.target;
+        f.ramp_step = 0.0;
+        break;
+      case RateModel::kTraditional:
+        // Eq. 6: grants lost to a rate reduction are never re-marked.
+        if (f.target < f.rate) f.rate = f.target;
+        f.ramp_step = 0.0;
+        break;
+      case RateModel::kAmrtGrantClock:
+        if (f.target <= f.rate) {
+          f.rate = f.target;  // the grant clock cuts within one RTT
+          f.ramp_step = 0.0;
+        } else if (f.ramp_step <= 0.0) {
+          // Refill episode begins at pre-drop rate R0. Earliest (Eq. 4/7):
+          // the filled slots re-mark every RTT, +R0 per RTT. Latest
+          // (Eq. 5/8): consecutive vacancies refill one slot per RTT.
+          f.ramp_step = cfg_.amrt_ramp_latest ? slot_step : std::max(f.rate, slot_step);
+        }
+        break;
+      case RateModel::kDctcpThreshold:
+        if (f.target <= f.rate) {
+          f.rate = f.target;
+          f.ramp_step = 0.0;
+        } else if (f.ramp_step <= 0.0) {
+          f.ramp_step = cfg_.mss_bytes / rtt_s;  // additive increase, 1 MSS/RTT
+        }
+        break;
+    }
+  }
+}
+
+void FlowSim::apply_ramp_tick() {
+  for (Active& f : active_) {
+    if (f.ramp_step <= 0.0 || f.rate >= f.target) continue;
+    f.rate = std::min(f.target, f.rate + f.ramp_step);
+    if (f.rate >= f.target) f.ramp_step = 0.0;
+  }
+}
+
+void FlowSim::advance_to(sim::TimePoint t, stats::FlowObserver* observer) {
+  const double dt = (t - now_).to_seconds();
+  if (dt > 0.0) {
+    const double bin_s = usage_bin_ > sim::Duration::zero() ? usage_bin_.to_seconds() : 0.0;
+    for (Active& f : active_) {
+      if (f.rate <= 0.0) continue;
+      const double add =
+          std::min(f.rate * dt, static_cast<double>(f.total_bytes) - f.delivered);
+      f.delivered += add;
+      const auto whole = static_cast<std::uint64_t>(f.delivered);
+      if (observer != nullptr && whole > f.reported) {
+        observer->on_flow_progress(f.id, whole - f.reported, t);
+        f.reported = whole;
+      }
+      for (std::uint32_t p = 0; p < f.path_len; ++p) {
+        const LinkId l = path_arena_[f.path_off + p];
+        link_bytes_[l] += add;
+        if (link_first_[l] > now_) link_first_[l] = now_;
+        if (link_last_[l] < t) link_last_[l] = t;
+        if (bin_s > 0.0) {
+          // Spread this segment's mean rate across the bins it overlaps.
+          std::int64_t seg_start = now_.ns();
+          const std::int64_t seg_end = t.ns();
+          const std::int64_t bin_ns = usage_bin_.ns();
+          while (seg_start < seg_end) {
+            const std::int64_t b = seg_start / bin_ns;
+            const std::int64_t b_end = std::min(seg_end, (b + 1) * bin_ns);
+            const double overlap_s = static_cast<double>(b_end - seg_start) * 1e-9;
+            auto& lane = usage_[l];
+            if (lane.size() <= static_cast<std::size_t>(b)) {
+              lane.resize(static_cast<std::size_t>(b) + 1, 0.0);
+            }
+            lane[static_cast<std::size_t>(b)] += f.rate * overlap_s / bin_s;
+            seg_start = b_end;
+          }
+        }
+      }
+    }
+  }
+  now_ = t;
+}
+
+FlowSimResult FlowSim::run(stats::FlowObserver* observer) {
+  std::sort(inputs_.begin(), inputs_.end(), [](const Input& a, const Input& b) {
+    return a.start != b.start ? a.start < b.start : a.id < b.id;
+  });
+
+  FlowSimResult res;
+  res.started = 0;
+  std::size_t next = 0;
+  now_ = sim::TimePoint::zero();
+  sim::TimePoint next_tick = sim::TimePoint::max();
+
+  while (next < inputs_.size() || !active_.empty()) {
+    // Earliest of: next arrival, earliest drain at current rates, ramp tick.
+    sim::TimePoint t_next = sim::TimePoint::max();
+    if (next < inputs_.size()) t_next = inputs_[next].start;
+    for (const Active& f : active_) {
+      if (f.rate <= 0.0) continue;
+      const double secs = (static_cast<double>(f.total_bytes) - f.delivered) / f.rate;
+      sim::TimePoint est = now_ + sim::Duration::from_seconds(secs);
+      if (est <= now_) est = now_ + sim::Duration::nanoseconds(1);
+      if (est < t_next) t_next = est;
+    }
+    if (next_tick < t_next) t_next = next_tick;
+    if (t_next == sim::TimePoint::max()) break;  // stalled: no arrivals, nothing moving
+    if (t_next > cfg_.max_time) {
+      advance_to(cfg_.max_time, observer);
+      break;
+    }
+
+    advance_to(t_next, observer);
+    ++events_;
+
+    bool membership_changed = false;
+    // Completions, in arrival order for deterministic observer callbacks.
+    for (Active& f : active_) {
+      if (static_cast<double>(f.total_bytes) - f.delivered > kDoneEps) continue;
+      if (observer != nullptr) {
+        if (f.total_bytes > f.reported) {
+          observer->on_flow_progress(f.id, f.total_bytes - f.reported, now_);
+          f.reported = f.total_bytes;
+        }
+        observer->on_flow_completed(f.id, now_ + completion_latency(f));
+      }
+      ++res.completed;
+      f.path_len = 0;  // mark for removal; keeps indices stable until the erase
+      f.rate = 0.0;
+      f.total_bytes = 0;
+      f.delivered = 0.0;
+      membership_changed = true;
+    }
+    if (membership_changed) {
+      active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                   [](const Active& f) { return f.path_len == 0; }),
+                    active_.end());
+    }
+
+    // Arrivals due now.
+    while (next < inputs_.size() && inputs_[next].start <= now_) {
+      const Input& in = inputs_[next];
+      Active f;
+      f.id = in.id;
+      f.total_bytes = in.bytes;
+      f.model = in.model;
+      f.start = in.start;
+      f.path_off = in.path_off;
+      f.path_len = in.path_len;
+      active_.push_back(f);
+      if (observer != nullptr) observer->on_flow_started(in.id, in.bytes, in.start);
+      ++res.started;
+      ++next;
+      membership_changed = true;
+    }
+
+    if (membership_changed) recompute_targets();
+
+    if (next_tick <= now_) {
+      apply_ramp_tick();
+      next_tick = sim::TimePoint::max();
+    }
+    // (Re)arm the grant-clock tick while anyone is still converging.
+    bool ramping = false;
+    for (const Active& f : active_) {
+      if (f.ramp_step > 0.0 && f.rate < f.target) {
+        ramping = true;
+        break;
+      }
+    }
+    if (ramping) {
+      const sim::TimePoint tick = now_ + cfg_.rtt;
+      if (tick < next_tick) next_tick = tick;
+    } else if (next_tick <= now_) {
+      next_tick = sim::TimePoint::max();
+    }
+  }
+
+  res.events = events_;
+  res.recomputes = recomputes_;
+  res.end_time = now_;
+  return res;
+}
+
+}  // namespace amrt::flowsim

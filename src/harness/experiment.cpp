@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "fault/fault.hpp"
+#include "harness/fidelity.hpp"
 #include "harness/sharded.hpp"
 #include "net/monitor.hpp"
 #include "net/partition.hpp"
@@ -31,6 +32,22 @@ void write_fct_csv(std::ostream& os, const std::vector<stats::FlowRecord>& recor
     if (r.request != 0) os << r.request;
     os << '\n';
   }
+}
+
+const char* to_string(Fidelity f) {
+  switch (f) {
+    case Fidelity::kPacket: return "packet";
+    case Fidelity::kFlow: return "flow";
+    case Fidelity::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+Fidelity fidelity_from_string(const std::string& name) {
+  if (name == "packet") return Fidelity::kPacket;
+  if (name == "flow") return Fidelity::kFlow;
+  if (name == "mixed") return Fidelity::kMixed;
+  throw std::invalid_argument("unknown fidelity '" + name + "' (packet|flow|mixed)");
 }
 
 bool is_background_flow(net::FlowId id, double fraction) {
@@ -88,25 +105,6 @@ PortUtilization active_window_utilization(const net::PortSampler& sampler) {
   return PortUtilization{sum / static_cast<double>(last - first + 1),
                          static_cast<double>(samples[last].bytes_sent)};
 }
-// Generation, shared by the serial and sharded paths: run the configured
-// traffic engine against the run's seeded stream, optionally dump the
-// schedule as a replayable trace, and register group/request membership.
-std::vector<workload::GeneratedFlow> generate_flows(const ExperimentConfig& cfg,
-                                                    std::size_t n_hosts, sim::Rng& rng,
-                                                    stats::GroupBook& book) {
-  workload::TrafficConfig traffic;
-  traffic.load = cfg.load;
-  traffic.n_flows = cfg.n_flows;
-  traffic.n_hosts = n_hosts;
-  traffic.host_rate = cfg.link_rate;
-  const workload::EmpiricalCdf* sizes =
-      cfg.engine.engine == workload::Engine::kTrace ? nullptr : &workload::cdf(cfg.workload);
-  auto flows = workload::generate_traffic(cfg.engine, sizes, traffic, rng);
-  if (!cfg.trace_out.empty()) workload::write_trace_file(cfg.trace_out, flows);
-  for (const auto& f : flows) book.note(f.id, f.group_id, f.request_id);
-  return flows;
-}
-
 // Annotates records with membership and fills the collective summaries.
 void finish_group_stats(const stats::GroupBook& book, ExperimentResult& out) {
   if (book.empty()) return;
@@ -171,7 +169,7 @@ ExperimentResult run_leaf_spine_sharded(const ExperimentConfig& cfg) {
   }
 
   stats::GroupBook book;
-  const auto flows = generate_flows(cfg, topo.hosts.size(), group.master().rng(), book);
+  const auto flows = detail::generate_flows(cfg, topo.hosts.size(), group.master().rng(), book);
   if (flows.empty()) return {};
 
   for (const auto& f : flows) {
@@ -224,9 +222,29 @@ ExperimentResult run_leaf_spine_sharded(const ExperimentConfig& cfg) {
 
 }  // namespace
 
-ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
-  if (cfg.shards > 1) return run_leaf_spine_sharded(cfg);
+namespace detail {
 
+// Generation, shared by the serial, sharded and flow-level paths: run the
+// configured traffic engine against the run's seeded stream, optionally dump
+// the schedule as a replayable trace, and register group/request membership.
+std::vector<workload::GeneratedFlow> generate_flows(const ExperimentConfig& cfg,
+                                                    std::size_t n_hosts, sim::Rng& rng,
+                                                    stats::GroupBook& book) {
+  workload::TrafficConfig traffic;
+  traffic.load = cfg.load;
+  traffic.n_flows = cfg.n_flows;
+  traffic.n_hosts = n_hosts;
+  traffic.host_rate = cfg.link_rate;
+  const workload::EmpiricalCdf* sizes =
+      cfg.engine.engine == workload::Engine::kTrace ? nullptr : &workload::cdf(cfg.workload);
+  auto flows = workload::generate_traffic(cfg.engine, sizes, traffic, rng);
+  if (!cfg.trace_out.empty()) workload::write_trace_file(cfg.trace_out, flows);
+  for (const auto& f : flows) book.note(f.id, f.group_id, f.request_id);
+  return flows;
+}
+
+ExperimentResult run_leaf_spine_serial(const ExperimentConfig& cfg,
+                                       const SerialOverrides* overrides) {
   const auto wall_start = std::chrono::steady_clock::now();
 
   const bool mixed = cfg.background_dctcp_fraction > 0.0;
@@ -295,9 +313,16 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
     host->attach(std::move(ep));
   }
 
-  // Workload, drawn from the simulation's own random stream.
+  // Workload, drawn from the simulation's own random stream — unless the
+  // caller (the mixed-fidelity runner) already drew the schedule.
   stats::GroupBook book;
-  const auto flows = generate_flows(cfg, topo.hosts.size(), simu.rng(), book);
+  std::vector<workload::GeneratedFlow> flows;
+  if (overrides != nullptr && overrides->flows != nullptr) {
+    flows = *overrides->flows;
+    for (const auto& f : flows) book.note(f.id, f.group_id, f.request_id);
+  } else {
+    flows = generate_flows(cfg, topo.hosts.size(), simu.rng(), book);
+  }
   if (flows.empty()) return {};
 
   for (const auto& f : flows) {
@@ -305,6 +330,16 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
                              f.bytes, f.start};
     transport::TransportEndpoint* src_ep = endpoints[f.src_host];
     sched.at(f.start, [src_ep, spec] { src_ep->start_flow(spec); });
+  }
+
+  // Mixed fidelity: replay the fluid side's bandwidth usage as scheduled
+  // serialization-rate reservations on the shared fabric ports.
+  if (overrides != nullptr && overrides->rate_scale) {
+    for (const auto& ev : overrides->rate_scale(topo)) {
+      net::EgressPort* port = &network.port_at(ev.port);
+      const double scale = ev.scale;
+      sched.at(ev.at, [port, scale] { port->set_rate_scale(scale); });
+    }
   }
 
   // Monitors on every receiver downlink (the typical bottleneck) plus the
@@ -401,6 +436,15 @@ ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
                       sched.now().str().c_str());
   }
   return out;
+}
+
+}  // namespace detail
+
+ExperimentResult run_leaf_spine(const ExperimentConfig& cfg) {
+  if (cfg.fidelity == Fidelity::kFlow) return run_leaf_spine_flow(cfg);
+  if (cfg.fidelity == Fidelity::kMixed) return run_leaf_spine_mixed(cfg);
+  if (cfg.shards > 1) return run_leaf_spine_sharded(cfg);
+  return detail::run_leaf_spine_serial(cfg, nullptr);
 }
 
 }  // namespace amrt::harness

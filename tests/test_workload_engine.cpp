@@ -334,6 +334,52 @@ TEST(FlowTrace, MalformedLinesNameFileAndLine) {
   expect_error("# only comments\n", "no flows");
 }
 
+// Table-driven robustness sweep over line-ending and banner variants. Unix,
+// CRLF, and missing-trailing-newline dumps must parse identically; a matching
+// magic prefix with an unknown version must be rejected with a clear error
+// (before the fix it was skipped as an ordinary comment and the body silently
+// misread under v1 rules).
+TEST(FlowTrace, LineEndingAndBannerTable) {
+  struct Case {
+    const char* name;
+    std::string text;
+    bool ok;
+    const char* needle;  // substring of the error for !ok; ignored for ok
+  };
+  const Case kCases[] = {
+      {"unix", "# amrt-flow-trace v1\n100,0,1,5000,0\n200,1,2,6000,0\n", true, ""},
+      {"crlf", "# amrt-flow-trace v1\r\n100,0,1,5000,0\r\n200,1,2,6000,0\r\n", true, ""},
+      {"no_trailing_newline", "# amrt-flow-trace v1\n100,0,1,5000,0\n200,1,2,6000,0", true, ""},
+      {"crlf_no_trailing_newline", "# amrt-flow-trace v1\r\n100,0,1,5000,0", true, ""},
+      {"bannerless_body", "100,0,1,5000,0\n", true, ""},
+      {"v2_banner", "# amrt-flow-trace v2\n100,0,1,5000,0\n", false, "unsupported trace format"},
+      {"v2_banner_crlf", "# amrt-flow-trace v2\r\n100,0,1,5000,0\r\n", false,
+       "unsupported trace format"},
+      {"versionless_banner", "# amrt-flow-trace\n100,0,1,5000,0\n", false,
+       "unsupported trace format"},
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.name);
+    std::stringstream in{c.text};
+    if (c.ok) {
+      const auto flows = workload::read_trace(in, c.name);
+      ASSERT_FALSE(flows.empty());
+      EXPECT_EQ(flows[0].bytes, 5000u);
+      EXPECT_EQ(flows[0].start.ns(), 100);
+    } else {
+      try {
+        (void)workload::read_trace(in, c.name);
+        FAIL() << "expected TraceError";
+      } catch (const workload::TraceError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(c.needle), std::string::npos) << what;
+        // The message must also say what the reader *does* understand.
+        EXPECT_NE(what.find("amrt-flow-trace v1"), std::string::npos) << what;
+      }
+    }
+  }
+}
+
 TEST(FlowTrace, RejectsNonMonotonicTimestamps) {
   std::stringstream in{"200,0,1,5000,0\n100,1,2,6000,0\n"};
   try {

@@ -28,6 +28,11 @@ void usage() {
   std::puts(
       "amrt_sim [options]\n"
       "  --proto=AMRT|pHost|Homa|NDP|DCTCP   transport under test (default AMRT)\n"
+      "  --fidelity=packet|flow|mixed  simulation fidelity (default packet; see\n"
+      "                                DESIGN.md §15 — flow runs the fluid fast path,\n"
+      "                                mixed keeps foreground flows packet-level)\n"
+      "  --flow-background=FRAC        mixed fidelity: fraction of flows (by id)\n"
+      "                                simulated fluidly (default 0.5)\n"
       "  --mixed=FRAC                  carry FRAC of flows (by id) on DCTCP background\n"
       "                                senders under an AMRT foreground (requires\n"
       "                                --proto=AMRT; serial-only — excludes --shards)\n"
@@ -96,6 +101,10 @@ int main(int argc, char** argv) {
     try {
       if (match(arg, "--proto=", v)) {
         cfg.proto = transport::protocol_from_string(v);
+      } else if (match(arg, "--fidelity=", v)) {
+        cfg.fidelity = harness::fidelity_from_string(v);
+      } else if (match(arg, "--flow-background=", v)) {
+        cfg.flow_background_fraction = std::stod(v);
       } else if (match(arg, "--mixed=", v)) {
         cfg.background_dctcp_fraction = std::stod(v);
       } else if (match(arg, "--workload=", v)) {
@@ -210,6 +219,22 @@ int main(int argc, char** argv) {
     }
     if (cfg.shards > 1) {
       std::fprintf(stderr, "amrt_sim: --mixed and --shards are mutually exclusive\n");
+      return 2;
+    }
+  }
+  if (cfg.fidelity != harness::Fidelity::kPacket) {
+    if (cfg.shards > 1) {
+      std::fprintf(stderr, "amrt_sim: --fidelity=%s and --shards are mutually exclusive\n",
+                   harness::to_string(cfg.fidelity));
+      return 2;
+    }
+    if (cfg.fault_incidents > 0) {
+      std::fprintf(stderr, "amrt_sim: --fidelity=%s and --faults are mutually exclusive\n",
+                   harness::to_string(cfg.fidelity));
+      return 2;
+    }
+    if (cfg.fidelity == harness::Fidelity::kMixed && cfg.background_dctcp_fraction > 0.0) {
+      std::fprintf(stderr, "amrt_sim: --fidelity=mixed and --mixed are mutually exclusive\n");
       return 2;
     }
   }

@@ -114,6 +114,22 @@ def load_scale_report(path):
     return rows
 
 
+def ratio_of(new, old):
+    """new/old, or None when the baseline metric is zero or missing.
+
+    A zero/absent baseline (e.g. an older bench build that didn't emit the
+    metric, or a mode that completed no flows) has no meaningful ratio; it is
+    rendered as n/a and never counts toward the --fail-above gate.
+    """
+    if not old or not new:
+        return None
+    return new / old
+
+
+def fmt_ratio(ratio, width=6):
+    return f"{ratio:>{width}.3f}" if ratio is not None else f"{'n/a':>{width}}"
+
+
 def compare_scale(baseline_path, test_path, fail_above):
     base = load_scale_report(baseline_path)
     test = load_scale_report(test_path)
@@ -132,17 +148,19 @@ def compare_scale(baseline_path, test_path, fail_above):
     worst = 0.0
     for name in names:
         b, t = base[name], test[name]
-        ratio = t["real_time"] / b["real_time"] if b["real_time"] else float("inf")
-        worst = max(worst, ratio)
-        print(f"{name:<{wname}}  {b['real_time']:>8.1f}ms  {t['real_time']:>8.1f}ms  "
-              f"{ratio:>6.3f}  "
+        ratio = ratio_of(t.get("real_time", 0), b.get("real_time", 0))
+        if ratio is not None:
+            worst = max(worst, ratio)
+        print(f"{name:<{wname}}  {b.get('real_time', 0):>8.1f}ms  "
+              f"{t.get('real_time', 0):>8.1f}ms  "
+              f"{fmt_ratio(ratio)}  "
               f"{b.get('events_per_second', 0) / 1e6:>9.2f}  "
               f"{t.get('events_per_second', 0) / 1e6:>9.2f}  "
               f"{b.get('peak_rss_mb', 0):>6.1f}MB  {t.get('peak_rss_mb', 0):>6.1f}MB")
     print("\n(wall time per run; ratio < 1 means the candidate is faster)")
     for name in sorted(set(test) - set(base)):
         t = test[name]
-        print(f"new: {name}  {t['real_time']:.1f}ms  "
+        print(f"new: {name}  {t.get('real_time', 0):.1f}ms  "
               f"{t.get('events_per_second', 0) / 1e6:.2f}Mev/s")
     if fail_above is not None and worst > fail_above:
         sys.exit(f"FAIL: worst ratio {worst:.3f} exceeds --fail-above {fail_above}")
@@ -167,10 +185,11 @@ def compare_coexist(baseline_path, test_path, fail_above):
     worst = 0.0
     for name in names:
         b, t = base[name], test[name]
-        ratio = t["p99_us"] / b["p99_us"] if b["p99_us"] else float("inf")
-        worst = max(worst, ratio)
-        print(f"{name:<{wname}}  {b['afct_us']:>8.1f}us  {t['afct_us']:>8.1f}us  "
-              f"{b['p99_us']:>8.1f}us  {t['p99_us']:>8.1f}us  {ratio:>6.3f}  "
+        ratio = ratio_of(t.get("p99_us", 0), b.get("p99_us", 0))
+        if ratio is not None:
+            worst = max(worst, ratio)
+        print(f"{name:<{wname}}  {b.get('afct_us', 0):>8.1f}us  {t.get('afct_us', 0):>8.1f}us  "
+              f"{b.get('p99_us', 0):>8.1f}us  {t.get('p99_us', 0):>8.1f}us  {fmt_ratio(ratio)}  "
               f"{b.get('mean_utilization', 0) * 100:>7.1f}%  "
               f"{t.get('mean_utilization', 0) * 100:>7.1f}%")
         for pop in ("foreground", "background"):
@@ -184,7 +203,7 @@ def compare_coexist(baseline_path, test_path, fail_above):
     print("\n(simulated FCT; ratio is p99 new/old, < 1 means the candidate improved)")
     for name in sorted(set(test) - set(base)):
         t = test[name]
-        print(f"new: {name}  afct {t['afct_us']:.1f}us  p99 {t['p99_us']:.1f}us")
+        print(f"new: {name}  afct {t.get('afct_us', 0):.1f}us  p99 {t.get('p99_us', 0):.1f}us")
     if fail_above is not None and worst > fail_above:
         sys.exit(f"FAIL: worst p99 ratio {worst:.3f} exceeds --fail-above {fail_above}")
 
@@ -209,9 +228,10 @@ def compare_fanout(baseline_path, test_path, fail_above):
         b, t = base[name], test[name]
         old_p99 = b.get("request_p99_us", 0)
         new_p99 = t.get("request_p99_us", 0)
-        ratio = new_p99 / old_p99 if old_p99 else float("inf")
-        worst = max(worst, ratio)
-        print(f"{name:<{wname}}  {old_p99:>9.1f}us  {new_p99:>9.1f}us  {ratio:>6.3f}  "
+        ratio = ratio_of(new_p99, old_p99)
+        if ratio is not None:
+            worst = max(worst, ratio)
+        print(f"{name:<{wname}}  {old_p99:>9.1f}us  {new_p99:>9.1f}us  {fmt_ratio(ratio)}  "
               f"{t.get('request_mean_us', 0):>10.1f}us  {t.get('request_max_us', 0):>9.1f}us  "
               f"{t.get('p99_us', 0):>10.1f}us")
         if (b.get("requests_complete", 0) != b.get("requests", 0)

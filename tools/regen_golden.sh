@@ -22,6 +22,22 @@ if [ "${1:-}" = "--check" ]; then
     diff -u tests/golden_fct.inc "$tmp" >&2 || true
     exit 1
   fi
+  # The fidelity switch (DESIGN.md §15) must be inert on the packet path:
+  # spelling --fidelity=packet explicitly has to produce byte-for-byte the
+  # same run as the default. Anything less means the flow-level fast path
+  # leaked into the packet simulator.
+  default_out="$(mktemp)"
+  packet_out="$(mktemp)"
+  trap 'rm -f "$tmp" "$default_out" "$packet_out"' EXIT
+  build/tools/amrt_sim --flows=200 --seed=7 > "$default_out"
+  build/tools/amrt_sim --flows=200 --seed=7 --fidelity=packet > "$packet_out"
+  if cmp -s "$default_out" "$packet_out"; then
+    echo "packet fidelity byte-identical to default"
+  else
+    echo "--fidelity=packet DIVERGED from the default run:" >&2
+    diff -u "$default_out" "$packet_out" >&2 || true
+    exit 1
+  fi
   exit 0
 fi
 

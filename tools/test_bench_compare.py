@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Regression tests for bench_compare.py's JSON-diff modes.
+
+The bug these pin down: a baseline row with a zero or missing metric
+(an older bench build that didn't emit it, or a mode that completed no
+flows) used to produce ratio = inf, which both crashed --coexist on the
+missing keys (KeyError) and poisoned the --fail-above gate with a
+spurious FAIL. The fixed behaviour: such rows print `n/a`, are excluded
+from the worst-ratio gate, and --fail-above only fires on genuine
+regressions.
+
+Run directly (no third-party deps):  python3 tools/test_bench_compare.py
+"""
+
+import contextlib
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare", os.path.join(_HERE, "bench_compare.py"))
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def write_report(tmpdir, name, rows):
+    path = os.path.join(tmpdir, name)
+    with open(path, "w") as f:
+        json.dump({"benchmarks": rows}, f)
+    return path
+
+
+def run_compare(fn, base_rows, test_rows, fail_above=None):
+    """Runs one compare_* function on crafted reports.
+
+    Returns (exit_code_or_None, captured_stdout). SystemExit with a string
+    message maps to exit code 1 (that is what sys.exit does).
+    """
+    out = io.StringIO()
+    with tempfile.TemporaryDirectory() as tmp:
+        base = write_report(tmp, "base.json", base_rows)
+        test = write_report(tmp, "test.json", test_rows)
+        try:
+            with contextlib.redirect_stdout(out):
+                fn(base, test, fail_above)
+        except SystemExit as e:
+            code = e.code if isinstance(e.code, int) else 1
+            return code, out.getvalue(), str(e.code)
+    return None, out.getvalue(), ""
+
+
+class RatioOfTest(unittest.TestCase):
+    def test_normal_ratio(self):
+        self.assertAlmostEqual(bench_compare.ratio_of(3.0, 2.0), 1.5)
+
+    def test_zero_or_missing_baseline_is_none(self):
+        self.assertIsNone(bench_compare.ratio_of(3.0, 0))
+        self.assertIsNone(bench_compare.ratio_of(3.0, 0.0))
+        self.assertIsNone(bench_compare.ratio_of(3.0, None))
+
+    def test_zero_candidate_is_none(self):
+        # 0/old = 0 would read as an infinitely-good speedup; also n/a.
+        self.assertIsNone(bench_compare.ratio_of(0, 5.0))
+
+
+class CompareScaleTest(unittest.TestCase):
+    def test_zero_baseline_time_does_not_fail_gate(self):
+        base = [{"name": "BM_Scale/fattree_k4/amrt", "real_time": 0.0}]
+        test = [{"name": "BM_Scale/fattree_k4/amrt", "real_time": 12.5,
+                 "events_per_second": 1e6}]
+        code, out, _ = run_compare(bench_compare.compare_scale, base, test,
+                                   fail_above=1.05)
+        self.assertIsNone(code, f"zero baseline must not trip --fail-above:\n{out}")
+        self.assertIn("n/a", out)
+
+    def test_missing_metric_keys_do_not_crash(self):
+        # An old report without real_time/events_per_second at all.
+        base = [{"name": "BM_Scale/fattree_k4/amrt"}]
+        test = [{"name": "BM_Scale/fattree_k4/amrt", "real_time": 12.5}]
+        code, out, _ = run_compare(bench_compare.compare_scale, base, test,
+                                   fail_above=1.05)
+        self.assertIsNone(code)
+        self.assertIn("n/a", out)
+
+    def test_new_only_row_without_metrics_does_not_crash(self):
+        base = [{"name": "BM_Scale/fattree_k4/amrt", "real_time": 10.0}]
+        test = [{"name": "BM_Scale/fattree_k4/amrt", "real_time": 10.0},
+                {"name": "BM_Scale/fattree_k4/amrt/flow"}]  # new row, no metrics
+        code, out, _ = run_compare(bench_compare.compare_scale, base, test)
+        self.assertIsNone(code)
+        self.assertIn("new: BM_Scale/fattree_k4/amrt/flow", out)
+
+    def test_genuine_regression_still_fails(self):
+        base = [{"name": "BM_Scale/fattree_k4/amrt", "real_time": 10.0}]
+        test = [{"name": "BM_Scale/fattree_k4/amrt", "real_time": 20.0}]
+        code, out, msg = run_compare(bench_compare.compare_scale, base, test,
+                                     fail_above=1.5)
+        self.assertEqual(code, 1)
+        self.assertIn("2.000", msg)
+
+    def test_no_fail_above_never_exits(self):
+        base = [{"name": "a", "real_time": 10.0}]
+        test = [{"name": "a", "real_time": 500.0}]
+        code, _, _ = run_compare(bench_compare.compare_scale, base, test)
+        self.assertIsNone(code)
+
+
+class CompareCoexistTest(unittest.TestCase):
+    def test_missing_p99_and_afct_keys(self):
+        # The pre-fix code did b["afct_us"] / b["p99_us"] unguarded: KeyError.
+        base = [{"name": "coexist/mixed"}]
+        test = [{"name": "coexist/mixed", "afct_us": 100.0, "p99_us": 900.0}]
+        code, out, _ = run_compare(bench_compare.compare_coexist, base, test,
+                                   fail_above=1.1)
+        self.assertIsNone(code, f"missing baseline keys must not crash or fail:\n{out}")
+        self.assertIn("n/a", out)
+
+    def test_zero_p99_baseline_excluded_from_gate(self):
+        base = [{"name": "coexist/amrt_solo", "afct_us": 0.0, "p99_us": 0.0},
+                {"name": "coexist/mixed", "afct_us": 100.0, "p99_us": 1000.0}]
+        test = [{"name": "coexist/amrt_solo", "afct_us": 90.0, "p99_us": 800.0},
+                {"name": "coexist/mixed", "afct_us": 101.0, "p99_us": 1010.0}]
+        code, out, _ = run_compare(bench_compare.compare_coexist, base, test,
+                                   fail_above=1.05)
+        # amrt_solo's zero baseline is n/a; mixed's real ratio 1.01 passes.
+        self.assertIsNone(code)
+        self.assertIn("n/a", out)
+
+    def test_genuine_p99_regression_still_fails(self):
+        base = [{"name": "coexist/mixed", "afct_us": 100.0, "p99_us": 1000.0}]
+        test = [{"name": "coexist/mixed", "afct_us": 100.0, "p99_us": 1200.0}]
+        code, _, msg = run_compare(bench_compare.compare_coexist, base, test,
+                                   fail_above=1.1)
+        self.assertEqual(code, 1)
+        self.assertIn("1.200", msg)
+
+    def test_new_only_mode_without_keys(self):
+        base = [{"name": "coexist/mixed", "afct_us": 1.0, "p99_us": 1.0}]
+        test = [{"name": "coexist/mixed", "afct_us": 1.0, "p99_us": 1.0},
+                {"name": "coexist/extra"}]
+        code, out, _ = run_compare(bench_compare.compare_coexist, base, test)
+        self.assertIsNone(code)
+        self.assertIn("new: coexist/extra", out)
+
+
+class CompareFanoutTest(unittest.TestCase):
+    def test_zero_request_p99_baseline(self):
+        base = [{"name": "fanout/amrt", "request_p99_us": 0.0}]
+        test = [{"name": "fanout/amrt", "request_p99_us": 450.0}]
+        code, out, _ = run_compare(bench_compare.compare_fanout, base, test,
+                                   fail_above=1.1)
+        self.assertIsNone(code, f"zero baseline must not trip --fail-above:\n{out}")
+        self.assertIn("n/a", out)
+
+    def test_missing_request_p99_key(self):
+        base = [{"name": "fanout/amrt"}]
+        test = [{"name": "fanout/amrt", "request_p99_us": 450.0}]
+        code, out, _ = run_compare(bench_compare.compare_fanout, base, test,
+                                   fail_above=1.1)
+        self.assertIsNone(code)
+        self.assertIn("n/a", out)
+
+    def test_genuine_regression_still_fails(self):
+        base = [{"name": "fanout/amrt", "request_p99_us": 400.0}]
+        test = [{"name": "fanout/amrt", "request_p99_us": 520.0}]
+        code, _, msg = run_compare(bench_compare.compare_fanout, base, test,
+                                   fail_above=1.1)
+        self.assertEqual(code, 1)
+        self.assertIn("1.300", msg)
+
+
+class DisjointReportsTest(unittest.TestCase):
+    def test_no_shared_names_is_a_clear_error(self):
+        base = [{"name": "a", "real_time": 1.0}]
+        test = [{"name": "b", "real_time": 1.0}]
+        code, _, msg = run_compare(bench_compare.compare_scale, base, test)
+        self.assertEqual(code, 1)
+        self.assertIn("share no benchmark names", msg)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
